@@ -1,0 +1,125 @@
+// Command inkbench regenerates the paper's tables and figures:
+//
+//	inkbench -exp fig9   [-sf 0.5]   — Fig 9: relative backend throughput
+//	inkbench -exp table1 [-sf 0.5]   — Table I: counter proxies for Q1/Q4
+//	inkbench -exp fig10  [-sfs 0.005,0.05,0.5] — Fig 10: cross-system latency
+//	inkbench -exp ablations          — DESIGN.md ablation suite
+//	inkbench -exp all                — everything above
+//
+// Absolute numbers depend on the host; the shapes (who wins, where the
+// crossovers fall) are what EXPERIMENTS.md records against the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"inkfuse/internal/benchkit"
+	"inkfuse/internal/tpch"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig9 | table1 | fig10 | ablations | all")
+	sf := flag.Float64("sf", 0.05, "scale factor for fig9/table1/ablations")
+	sfs := flag.String("sfs", "0.005,0.05,0.5", "comma-separated scale factors for fig10")
+	runs := flag.Int("runs", 3, "timing repetitions (median reported)")
+	workers := flag.Int("workers", 0, "worker threads (0 = GOMAXPROCS)")
+	queries := flag.String("queries", "", "comma-separated query subset (default: all eight)")
+	flag.Parse()
+
+	cfg := benchkit.Config{SF: *sf, Runs: *runs, Workers: *workers}
+	if *queries != "" {
+		cfg.Queries = strings.Split(*queries, ",")
+	}
+	cfg = cfg.WithDefaults()
+
+	run := func(name string, f func() error) {
+		if *exp != name && *exp != "all" {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "inkbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("fig9", func() error {
+		fmt.Printf("# Fig 9 — relative throughput vs vectorized backend (SF %g, %d workers)\n", cfg.SF, cfg.Workers)
+		rel, _, err := benchkit.Fig9(cfg)
+		if err != nil {
+			return err
+		}
+		benchkit.PrintFig9(os.Stdout, rel, cfg.Queries)
+		fmt.Println()
+		return nil
+	})
+
+	run("table1", func() error {
+		fmt.Printf("# Table I — counter proxies, Q1 and Q4 (SF %g)\n", cfg.SF)
+		cells, err := benchkit.Table1(cfg)
+		if err != nil {
+			return err
+		}
+		benchkit.PrintTable1(os.Stdout, cells)
+		fmt.Println()
+		return nil
+	})
+
+	run("fig10", func() error {
+		var factors []float64
+		for _, s := range strings.Split(*sfs, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				return fmt.Errorf("bad -sfs element %q: %w", s, err)
+			}
+			factors = append(factors, v)
+		}
+		fmt.Printf("# Fig 10 — end-to-end latency across systems and scale factors %v\n", factors)
+		fmt.Println("# (compile-wait = the dashed bar areas of the paper)")
+		cells, err := benchkit.Fig10(cfg, factors)
+		if err != nil {
+			return err
+		}
+		benchkit.PrintCells(os.Stdout, cells)
+		fmt.Println()
+		return nil
+	})
+
+	run("ablations", func() error {
+		fmt.Printf("# Ablations (SF %g)\n", cfg.SF)
+		if rows, err := benchkit.AblationChunkSize(cfg, "q6", []int{64, 256, 1024, 4096, 16384}); err != nil {
+			return err
+		} else {
+			benchkit.PrintAblation(os.Stdout, "vectorized chunk size (q6)", rows)
+		}
+		if rows, err := benchkit.AblationHybridExploration(cfg, "q1", []int{4, 20, 100}); err != nil {
+			return err
+		} else {
+			benchkit.PrintAblation(os.Stdout, "hybrid exploration period (q1)", rows)
+		}
+		if rows, err := benchkit.AblationKeyPacking(cfg); err != nil {
+			return err
+		} else {
+			benchkit.PrintAblation(os.Stdout, "key packing shapes (compiling backend)", rows)
+		}
+		if rows, err := benchkit.AblationROFSplit(cfg, "q3"); err != nil {
+			return err
+		} else {
+			benchkit.PrintAblation(os.Stdout, "pipeline split granularity (q3)", rows)
+		}
+		if rows, err := benchkit.AblationMorselSize(cfg, "q1", []int{4096, 16384, 65536}); err != nil {
+			return err
+		} else {
+			benchkit.PrintAblation(os.Stdout, "hybrid morsel size (q1)", rows)
+		}
+		return nil
+	})
+
+	if *exp == "all" || *exp == "fig9" {
+		cat := tpch.Generate(cfg.SF, 42)
+		fmt.Printf("# data: %s\n", benchkit.CatalogRows(cat))
+	}
+}

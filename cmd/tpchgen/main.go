@@ -1,0 +1,78 @@
+// Command tpchgen generates the TPC-H-style benchmark data and either
+// prints table statistics or exports a table as CSV.
+//
+//	tpchgen -sf 0.1                    # print row counts
+//	tpchgen -sf 0.1 -table lineitem -csv -limit 100 > lineitem.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+
+	"inkfuse/internal/tpch"
+	"inkfuse/internal/types"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.01, "scale factor (1.0 ≈ 6M lineitem rows)")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	table := flag.String("table", "", "table to export")
+	asCSV := flag.Bool("csv", false, "write the table as CSV to stdout")
+	limit := flag.Int("limit", 0, "max rows to export (0 = all)")
+	flag.Parse()
+
+	cat := tpch.Generate(*sf, *seed)
+
+	if *table == "" {
+		fmt.Printf("TPC-H-style catalog at SF %g (seed %d)\n", *sf, *seed)
+		for _, name := range []string{"region", "nation", "supplier", "customer", "part", "orders", "lineitem"} {
+			t := cat.MustGet(name)
+			fmt.Printf("  %-10s %10d rows, %d columns\n", name, t.Rows(), len(t.Schema))
+		}
+		return
+	}
+
+	t, err := cat.Get(*table)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tpchgen:", err)
+		os.Exit(1)
+	}
+	n := t.Rows()
+	if *limit > 0 && *limit < n {
+		n = *limit
+	}
+	if !*asCSV {
+		fmt.Printf("%s: %d rows\n", t.Name, t.Rows())
+		return
+	}
+	w := csv.NewWriter(os.Stdout)
+	header := make([]string, len(t.Schema))
+	for i, c := range t.Schema {
+		header[i] = c.Name
+	}
+	if err := w.Write(header); err != nil {
+		fmt.Fprintln(os.Stderr, "tpchgen:", err)
+		os.Exit(1)
+	}
+	rec := make([]string, len(t.Cols))
+	for r := 0; r < n; r++ {
+		for i, col := range t.Cols {
+			if col.Kind == types.Date {
+				rec[i] = types.DateString(col.I32[r])
+			} else {
+				rec[i] = fmt.Sprintf("%v", col.Value(r))
+			}
+		}
+		if err := w.Write(rec); err != nil {
+			fmt.Fprintln(os.Stderr, "tpchgen:", err)
+			os.Exit(1)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		fmt.Fprintln(os.Stderr, "tpchgen:", err)
+		os.Exit(1)
+	}
+}

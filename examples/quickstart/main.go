@@ -1,0 +1,53 @@
+// Quickstart: build a small table, run an aggregation query through the
+// public API, and print the result — first on the instantly-available
+// vectorized interpreter, then on the hybrid backend.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"inkfuse"
+)
+
+func main() {
+	// A tiny sales table.
+	sales := inkfuse.NewTable("sales", inkfuse.Schema{
+		{Name: "region", Kind: inkfuse.String},
+		{Name: "amount", Kind: inkfuse.Float64},
+		{Name: "items", Kind: inkfuse.Int64},
+	})
+	regions := []string{"north", "south", "east", "west"}
+	for i := 0; i < 100_000; i++ {
+		sales.AppendRow(regions[i%4], float64(i%500)*1.25, int64(i%7+1))
+	}
+
+	// SELECT region, sum(amount), avg(amount), count(*) FROM sales
+	// WHERE amount > 100 GROUP BY region ORDER BY sum(amount) DESC
+	plan := inkfuse.NewOrderBy(
+		inkfuse.NewGroupBy(
+			inkfuse.NewFilter(
+				inkfuse.NewScan(sales, "region", "amount", "items"),
+				inkfuse.Gt(inkfuse.Col("amount"), inkfuse.F64(100)),
+			),
+			[]string{"region"},
+			inkfuse.Sum("amount", "total"),
+			inkfuse.Avg("amount", "avg_amount"),
+			inkfuse.Count("n"),
+		),
+		[]string{"total"}, []bool{true}, 0,
+	)
+
+	for _, backend := range []inkfuse.Backend{inkfuse.BackendVectorized, inkfuse.BackendHybrid} {
+		res, err := inkfuse.Run(plan, "quickstart", inkfuse.Options{Backend: backend})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- %v backend (%v, %d rows)\n", backend, res.Wall, res.Rows())
+		fmt.Printf("%-8s %14s %12s %8s\n", "region", "total", "avg", "count")
+		for i := 0; i < res.Rows(); i++ {
+			row := res.Chunk.Row(i)
+			fmt.Printf("%-8s %14.2f %12.2f %8d\n", row[0], row[1], row[2], row[3])
+		}
+	}
+}

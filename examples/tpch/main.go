@@ -1,0 +1,63 @@
+// TPC-H runner: generate benchmark data at any scale factor and execute any
+// of the paper's eight queries on any backend.
+//
+//	go run ./examples/tpch -q q1 -sf 0.05 -backend hybrid
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"inkfuse"
+)
+
+func main() {
+	q := flag.String("q", "q1", "query: q1 q3 q4 q5 q6 q13 q14 q19, or 'all'")
+	sf := flag.Float64("sf", 0.01, "scale factor (1.0 ≈ 6M lineitem rows)")
+	backendName := flag.String("backend", "hybrid", "vectorized | compiling | rof | hybrid")
+	workers := flag.Int("workers", 0, "worker threads (0 = GOMAXPROCS)")
+	maxRows := flag.Int("rows", 10, "result rows to print")
+	flag.Parse()
+
+	backend, err := inkfuse.ParseBackend(*backendName)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	gen := time.Now()
+	cat := inkfuse.GenerateTPCH(*sf, 42)
+	fmt.Printf("generated TPC-H SF %g in %v\n", *sf, time.Since(gen).Round(time.Millisecond))
+
+	queries := []string{*q}
+	if *q == "all" {
+		queries = inkfuse.TPCHQueries()
+	}
+	for _, name := range queries {
+		node, err := inkfuse.TPCHQuery(cat, name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := inkfuse.Run(node, name, inkfuse.Options{Backend: backend, Workers: *workers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n=== %s on %v: %v (compile wait %v), %d rows\n",
+			name, backend, res.Wall.Round(10*time.Microsecond),
+			res.Stats.CompileWait.Round(10*time.Microsecond), res.Rows())
+		fmt.Println(res.Cols)
+		for i := 0; i < res.Rows() && i < *maxRows; i++ {
+			row := res.Chunk.Row(i)
+			for j, v := range row {
+				if res.Chunk.Cols[j].Kind == inkfuse.Date {
+					row[j] = inkfuse.DateString(v.(int32))
+				}
+			}
+			fmt.Printf("%v\n", row)
+		}
+		if res.Rows() > *maxRows {
+			fmt.Printf("... (%d more rows)\n", res.Rows()-*maxRows)
+		}
+	}
+}

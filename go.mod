@@ -1,0 +1,3 @@
+module inkfuse
+
+go 1.23

@@ -1,0 +1,143 @@
+// Package inkfuse is a Go implementation of Incremental Fusion — the query
+// execution paradigm of Wagner et al., "Incremental Fusion: Unifying
+// Compiled and Vectorized Query Execution" (ICDE 2024) — modeled on the
+// paper's open-source prototype engine InkFuse.
+//
+// The engine lowers relational plans into a suboperator IR whose
+// instantiations are finite (the enumeration invariant). One compilation
+// stack serves two purposes: fusing whole pipelines into specialized
+// programs (the compiling backend), and generating — ahead of time, from the
+// enumerated suboperators — a complete vectorized interpreter (the
+// vectorized backend). A hybrid backend starts queries on the interpreter,
+// compiles in the background, and routes morsels to whichever backend
+// measures the highest tuple throughput; an ROF backend stages pipelines
+// before hash-table probes with a prefetch step.
+//
+// Quick start:
+//
+//	cat := inkfuse.NewCatalog()
+//	cat.Add(myTable)
+//	plan := inkfuse.NewGroupBy(inkfuse.NewScan(myTable, "k", "v"),
+//	    []string{"k"}, inkfuse.Sum("v", "total"))
+//	res, err := inkfuse.Run(plan, "totals", inkfuse.Options{Backend: inkfuse.BackendHybrid})
+package inkfuse
+
+import (
+	"inkfuse/internal/algebra"
+	"inkfuse/internal/core"
+	"inkfuse/internal/exec"
+	"inkfuse/internal/interp"
+	"inkfuse/internal/ir"
+	"inkfuse/internal/storage"
+	"inkfuse/internal/tpch"
+	"inkfuse/internal/volcano"
+)
+
+// Run lowers a relational plan into suboperator pipelines and executes it.
+func Run(node Node, name string, opts Options) (*Result, error) {
+	plan, err := algebra.Lower(node, name)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Execute(plan, opts)
+}
+
+// Lower exposes the plan lowering step (relational algebra → suboperator
+// pipelines) for callers that want to inspect or re-execute plans.
+func Lower(node Node, name string) (*Plan, error) {
+	return algebra.Lower(node, name)
+}
+
+// Execute runs an already-lowered plan. Note that a lowered plan owns its
+// runtime state (hash tables); re-executing the same *Plan is not supported —
+// lower again instead.
+func Execute(plan *Plan, opts Options) (*Result, error) {
+	return exec.Execute(plan, opts)
+}
+
+// RunVolcano executes the plan on the tuple-at-a-time Volcano reference
+// engine (baseline and correctness oracle).
+func RunVolcano(node Node) (*Chunk, error) {
+	return volcano.Run(node)
+}
+
+// GenerateTPCH builds the TPC-H-style benchmark catalog at a scale factor
+// (SF 1 ≈ 6M lineitem rows). Deterministic in (sf, seed).
+func GenerateTPCH(sf float64, seed uint64) *Catalog {
+	return tpch.Generate(sf, seed)
+}
+
+// TPCHQuery returns the hand-built physical plan for one of the eight
+// supported TPC-H queries ("q1", "q3", "q4", "q5", "q6", "q13", "q14",
+// "q19").
+func TPCHQuery(cat *Catalog, name string) (Node, error) {
+	return tpch.Build(cat, name)
+}
+
+// TPCHQueries lists the supported query names.
+func TPCHQueries() []string {
+	return append([]string{}, tpch.Queries...)
+}
+
+// GeneratedC renders the C source the engine's compilation stack generates
+// for every pipeline of the plan — the code an InkFuse-style engine hands to
+// clang (paper Figs 3, 5, 6).
+func GeneratedC(node Node, name string) (string, error) {
+	plan, err := algebra.Lower(node, name)
+	if err != nil {
+		return "", err
+	}
+	out := ""
+	for _, pipe := range plan.Pipelines {
+		fn, _, err := pipe.GenFused()
+		if err != nil {
+			return "", err
+		}
+		out += ir.EmitC(fn) + "\n"
+	}
+	return out, nil
+}
+
+// Explain lowers a plan and renders its suboperator pipelines (paper Fig 7
+// style): per pipeline the source, the suboperator DAG with the primitive
+// each suboperator resolves to, and the sink.
+func Explain(node Node, name string) (string, error) {
+	plan, err := algebra.Lower(node, name)
+	if err != nil {
+		return "", err
+	}
+	return plan.Describe(), nil
+}
+
+// PrimitiveCount reports how many vectorized primitives the engine generates
+// at startup from the suboperator enumeration (paper §V-A reports 800+ for
+// InkFuse's 20 suboperators; EXPERIMENTS.md records ours).
+func PrimitiveCount() (int, error) {
+	reg, err := interp.Default()
+	if err != nil {
+		return 0, err
+	}
+	return reg.Len(), nil
+}
+
+// SubOperatorCount reports the number of distinct suboperator families in
+// the enumeration.
+func SubOperatorCount() int {
+	seen := map[string]bool{}
+	for _, op := range core.Enumerate() {
+		seen[opFamily(op.PrimitiveID())] = true
+	}
+	return len(seen)
+}
+
+func opFamily(id string) string {
+	for i := 0; i < len(id); i++ {
+		if id[i] == '_' {
+			return id[:i]
+		}
+	}
+	return id
+}
+
+// Morsels re-exports the morsel splitter for custom schedulers.
+func Morsels(rows, size int) []storage.Morsel { return storage.Morsels(rows, size) }

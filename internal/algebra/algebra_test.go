@@ -1,0 +1,286 @@
+package algebra
+
+import (
+	"testing"
+
+	"inkfuse/internal/core"
+	"inkfuse/internal/ir"
+	"inkfuse/internal/storage"
+	"inkfuse/internal/types"
+)
+
+func testTable() *storage.Table {
+	t := storage.NewTable("t", types.Schema{
+		{Name: "a", Kind: types.Int64},
+		{Name: "b", Kind: types.Float64},
+		{Name: "s", Kind: types.String},
+		{Name: "d", Kind: types.Date},
+	})
+	t.AppendRow(int64(1), 2.0, "x", types.MkDate(1995, 1, 1))
+	return t
+}
+
+func TestScanSchema(t *testing.T) {
+	tbl := testTable()
+	s, err := NewScan(tbl, "b", "a").Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 2 || s[0].Name != "b" || s[1].Kind != types.Int64 {
+		t.Fatalf("schema: %+v", s)
+	}
+	if _, err := NewScan(tbl, "missing").Schema(); err == nil {
+		t.Fatal("expected missing-column error")
+	}
+	full, _ := NewScan(tbl).Schema()
+	if len(full) != 4 {
+		t.Fatal("empty column list should mean all columns")
+	}
+}
+
+func TestFilterSchemaValidation(t *testing.T) {
+	tbl := testTable()
+	if _, err := NewFilter(NewScan(tbl, "a"), Col("a")).Schema(); err == nil {
+		t.Fatal("non-bool predicate must fail")
+	}
+	if _, err := NewFilter(NewScan(tbl, "a"), Gt(Col("a"), I64(0))).Schema(); err != nil {
+		t.Fatal(err)
+	}
+	// Kind mismatch inside the predicate.
+	if _, err := NewFilter(NewScan(tbl, "a", "b"), Gt(Col("a"), Col("b"))).Schema(); err == nil {
+		t.Fatal("cross-kind comparison must fail")
+	}
+}
+
+func TestMapSchemaChained(t *testing.T) {
+	tbl := testTable()
+	m := NewMap(NewScan(tbl, "b"),
+		NamedExpr{As: "c", E: Mul(Col("b"), F64(2))},
+		NamedExpr{As: "e", E: Add(Col("c"), Col("b"))}, // references earlier expr
+	)
+	s, err := m.Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.IndexOf("e") < 0 {
+		t.Fatal("chained map column missing")
+	}
+}
+
+func TestGroupBySchemaAndValidation(t *testing.T) {
+	tbl := testTable()
+	g := NewGroupBy(NewScan(tbl, "s", "b"), []string{"s"},
+		Sum("b", "total"), Count("n"), Avg("b", "avg"))
+	s, err := g.Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 4 || s[1].Kind != types.Float64 || s[2].Kind != types.Int64 {
+		t.Fatalf("schema: %+v", s)
+	}
+	if _, err := NewGroupBy(NewScan(tbl, "s"), nil, Sum("s", "x")).Schema(); err == nil {
+		t.Fatal("SUM over string must fail")
+	}
+	if _, err := NewGroupBy(NewScan(tbl, "b"), nil, Avg("b", "x")).Schema(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinSchemaValidation(t *testing.T) {
+	tbl := testTable()
+	dim := storage.NewTable("dim", types.Schema{
+		{Name: "k", Kind: types.Int64},
+		{Name: "v", Kind: types.String},
+	})
+	ok := &HashJoin{
+		Build: NewScan(dim, "k", "v"), Probe: NewScan(tbl, "a", "b"),
+		BuildKeys: []string{"k"}, ProbeKeys: []string{"a"},
+		BuildCols: []string{"v"}, Mode: ir.InnerJoin,
+	}
+	s, err := ok.Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.IndexOf("v") < 0 || s.IndexOf("b") < 0 {
+		t.Fatalf("join schema: %+v", s)
+	}
+	bad := &HashJoin{
+		Build: NewScan(dim, "k"), Probe: NewScan(tbl, "b"),
+		BuildKeys: []string{"k"}, ProbeKeys: []string{"b"}, // i64 vs f64
+		Mode: ir.InnerJoin,
+	}
+	if _, err := bad.Schema(); err == nil {
+		t.Fatal("key kind mismatch must fail")
+	}
+	semiWithCols := &HashJoin{
+		Build: NewScan(dim, "k", "v"), Probe: NewScan(tbl, "a"),
+		BuildKeys: []string{"k"}, ProbeKeys: []string{"a"},
+		BuildCols: []string{"v"}, Mode: ir.SemiJoin,
+	}
+	s2, err := semiWithCols.Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.IndexOf("v") >= 0 {
+		t.Fatal("semi join must not expose build columns")
+	}
+}
+
+func TestLowerPrunesUnusedColumns(t *testing.T) {
+	tbl := testTable()
+	// Only "a" is required; the scan must not read b/s/d.
+	node := NewProject(NewScan(tbl, "a", "b", "s", "d"), "a")
+	plan, err := Lower(node, "prune")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := plan.Pipelines[0].Source.(*core.TableScan)
+	if len(scan.Cols) != 1 {
+		t.Fatalf("scan reads %d columns, want 1", len(scan.Cols))
+	}
+}
+
+func TestLowerMapDropsUnusedExprs(t *testing.T) {
+	tbl := testTable()
+	node := NewProject(NewMap(NewScan(tbl, "a", "b"),
+		NamedExpr{As: "used", E: Mul(Col("b"), F64(2))},
+		NamedExpr{As: "unused", E: Add(Col("a"), I64(1))},
+	), "used")
+	plan, err := Lower(node, "dropexpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The unused expression must not appear: no i64 arithmetic suboperator.
+	for _, op := range plan.Pipelines[0].Ops {
+		if a, ok := op.(*core.Arith); ok && a.Out.K == types.Int64 {
+			t.Fatal("unused map expression was lowered")
+		}
+	}
+	// And its input column must not be scanned.
+	scan := plan.Pipelines[0].Source.(*core.TableScan)
+	if len(scan.Cols) != 1 {
+		t.Fatalf("scan reads %d columns, want 1 (b only)", len(scan.Cols))
+	}
+}
+
+func TestLowerFilterEmitsCopyPerColumn(t *testing.T) {
+	tbl := testTable()
+	node := NewProject(NewFilter(NewScan(tbl, "a", "b", "s"),
+		Gt(Col("a"), I64(0))), "a", "b", "s")
+	plan, err := Lower(node, "fcopy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scopes, copies := 0, 0
+	for _, op := range plan.Pipelines[0].Ops {
+		switch op.(type) {
+		case *core.FilterScope:
+			scopes++
+		case *core.FilterCopy:
+			copies++
+		}
+	}
+	// n+1 suboperators for an n-column filter (paper Fig 4).
+	if scopes != 1 || copies != 3 {
+		t.Fatalf("scopes=%d copies=%d, want 1 and 3", scopes, copies)
+	}
+}
+
+func TestLowerGroupByPipelineSplit(t *testing.T) {
+	tbl := testTable()
+	node := NewGroupBy(NewScan(tbl, "s", "b"), []string{"s"}, Sum("b", "x"))
+	plan, err := Lower(node, "split")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Pipelines) != 2 {
+		t.Fatalf("pipelines = %d, want 2 (build + read)", len(plan.Pipelines))
+	}
+	if plan.Pipelines[0].Result != nil {
+		t.Fatal("aggregation build pipeline must be a pure sink")
+	}
+	if len(plan.Pipelines[0].MergeAggs) != 1 {
+		t.Fatal("missing aggregation finalizer")
+	}
+	if _, ok := plan.Pipelines[1].Source.(*core.AggRead); !ok {
+		t.Fatal("read pipeline must scan the aggregate table")
+	}
+}
+
+func TestLowerJoinPipelineOrder(t *testing.T) {
+	tbl := testTable()
+	dim := storage.NewTable("dim", types.Schema{{Name: "k", Kind: types.Int64}})
+	dim.AppendRow(int64(1))
+	join := &HashJoin{
+		Build: NewScan(dim, "k"), Probe: NewScan(tbl, "a", "b"),
+		BuildKeys: []string{"k"}, ProbeKeys: []string{"a"}, Mode: ir.InnerJoin,
+	}
+	plan, err := Lower(NewProject(join, "b"), "joinorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Pipelines) != 2 {
+		t.Fatalf("pipelines = %d", len(plan.Pipelines))
+	}
+	if len(plan.Pipelines[0].SealJoins) != 1 {
+		t.Fatal("build pipeline must seal its join table")
+	}
+	if plan.Pipelines[1].Result == nil {
+		t.Fatal("probe pipeline must produce the result")
+	}
+}
+
+func TestLowerOrderByMapping(t *testing.T) {
+	tbl := testTable()
+	g := NewGroupBy(NewScan(tbl, "s", "b"), []string{"s"}, Sum("b", "x"))
+	plan, err := Lower(NewOrderBy(g, []string{"x"}, []bool{true}, 5), "ob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Sort == nil || plan.Sort.Limit != 5 || plan.Sort.Keys[0] != 1 || !plan.Sort.Desc[0] {
+		t.Fatalf("sort spec: %+v", plan.Sort)
+	}
+	if _, err := Lower(NewOrderBy(g, []string{"nope"}, nil, 0), "bad"); err == nil {
+		t.Fatal("unknown order key must fail")
+	}
+}
+
+func TestLowerErrors(t *testing.T) {
+	tbl := testTable()
+	// Bare constant expression.
+	bad := NewMap(NewScan(tbl, "a"), NamedExpr{As: "c", E: I64(1)})
+	if _, err := Lower(NewProject(bad, "c"), "bare"); err == nil {
+		t.Fatal("bare constant should fail to lower")
+	}
+	// Nested OrderBy.
+	nested := NewFilter(NewOrderBy(NewScan(tbl, "a"), []string{"a"}, nil, 0), Gt(Col("a"), I64(0)))
+	if _, err := Lower(nested, "nested"); err == nil {
+		t.Fatal("nested ORDER BY should fail")
+	}
+}
+
+func TestExprColumnsCollection(t *testing.T) {
+	e := And(
+		Gt(Col("a"), I64(1)),
+		Like(Col("s"), "x%"),
+		Case(Lt(Col("d"), DateLit("1996-01-01")), Col("b"), F64(0)),
+	)
+	cols := map[string]bool{}
+	for _, c := range e.Columns(nil) {
+		cols[c] = true
+	}
+	for _, want := range []string{"a", "s", "d", "b"} {
+		if !cols[want] {
+			t.Errorf("missing column %q", want)
+		}
+	}
+}
+
+func TestBetweenSugar(t *testing.T) {
+	s := types.Schema{{Name: "x", Kind: types.Float64}}
+	e := Between(Col("x"), F64(1), F64(2))
+	k, err := e.Kind(s)
+	if err != nil || k != types.Bool {
+		t.Fatalf("between kind: %v %v", k, err)
+	}
+}

@@ -1,0 +1,311 @@
+// Package algebra provides the relational-algebra plan layer: typed
+// expressions, relational operators, and their lowering into suboperator
+// DAGs (paper Fig 7, step 3). Like InkFuse, the engine has no SQL frontend —
+// physical plans are built by hand against this API.
+package algebra
+
+import (
+	"fmt"
+
+	"inkfuse/internal/ir"
+	"inkfuse/internal/types"
+)
+
+// Expr is a scalar expression over named columns. The same tree is consumed
+// by the suboperator lowering and by the Volcano reference engine, which
+// evaluates it row-at-a-time.
+type Expr interface {
+	// Kind type-checks the expression against a schema.
+	Kind(s types.Schema) (types.Kind, error)
+	// Columns appends the referenced column names to dst.
+	Columns(dst []string) []string
+}
+
+// ColRef references a column by name.
+type ColRef struct{ Name string }
+
+// Col is shorthand for ColRef.
+func Col(name string) ColRef { return ColRef{Name: name} }
+
+// Kind implements Expr.
+func (c ColRef) Kind(s types.Schema) (types.Kind, error) {
+	i := s.IndexOf(c.Name)
+	if i < 0 {
+		return types.Invalid, fmt.Errorf("algebra: unknown column %q", c.Name)
+	}
+	return s[i].Kind, nil
+}
+
+// Columns implements Expr.
+func (c ColRef) Columns(dst []string) []string { return append(dst, c.Name) }
+
+// Const is a literal constant.
+type Const struct {
+	K   types.Kind
+	B   bool
+	I32 int32
+	I64 int64
+	F64 float64
+	Str string
+}
+
+// Kind implements Expr.
+func (c Const) Kind(types.Schema) (types.Kind, error) { return c.K, nil }
+
+// Columns implements Expr.
+func (c Const) Columns(dst []string) []string { return dst }
+
+// I64 builds an int64 literal.
+func I64(v int64) Const { return Const{K: types.Int64, I64: v} }
+
+// I32 builds an int32 literal.
+func I32(v int32) Const { return Const{K: types.Int32, I32: v} }
+
+// F64 builds a float64 literal.
+func F64(v float64) Const { return Const{K: types.Float64, F64: v} }
+
+// Str builds a string literal.
+func Str(v string) Const { return Const{K: types.String, Str: v} }
+
+// DateLit builds a date literal from YYYY-MM-DD.
+func DateLit(s string) Const { return Const{K: types.Date, I32: types.MustParseDate(s)} }
+
+// Bin is binary arithmetic.
+type Bin struct {
+	Op   ir.BinOp
+	L, R Expr
+}
+
+// Add/Sub/Mul/Div are Bin constructors.
+func Add(l, r Expr) Bin { return Bin{Op: ir.Add, L: l, R: r} }
+func Sub(l, r Expr) Bin { return Bin{Op: ir.Sub, L: l, R: r} }
+func Mul(l, r Expr) Bin { return Bin{Op: ir.Mul, L: l, R: r} }
+func Div(l, r Expr) Bin { return Bin{Op: ir.Div, L: l, R: r} }
+
+// Kind implements Expr.
+func (b Bin) Kind(s types.Schema) (types.Kind, error) {
+	lk, err := b.L.Kind(s)
+	if err != nil {
+		return types.Invalid, err
+	}
+	rk, err := b.R.Kind(s)
+	if err != nil {
+		return types.Invalid, err
+	}
+	if lk != rk {
+		return types.Invalid, fmt.Errorf("algebra: arithmetic kind mismatch %v vs %v", lk, rk)
+	}
+	if !lk.Numeric() {
+		return types.Invalid, fmt.Errorf("algebra: arithmetic on %v", lk)
+	}
+	return lk, nil
+}
+
+// Columns implements Expr.
+func (b Bin) Columns(dst []string) []string { return b.R.Columns(b.L.Columns(dst)) }
+
+// CmpE is a comparison.
+type CmpE struct {
+	Op   ir.CmpOp
+	L, R Expr
+}
+
+// Comparison constructors.
+func Lt(l, r Expr) CmpE { return CmpE{Op: ir.Lt, L: l, R: r} }
+func Le(l, r Expr) CmpE { return CmpE{Op: ir.Le, L: l, R: r} }
+func Eq(l, r Expr) CmpE { return CmpE{Op: ir.Eq, L: l, R: r} }
+func Ne(l, r Expr) CmpE { return CmpE{Op: ir.Ne, L: l, R: r} }
+func Ge(l, r Expr) CmpE { return CmpE{Op: ir.Ge, L: l, R: r} }
+func Gt(l, r Expr) CmpE { return CmpE{Op: ir.Gt, L: l, R: r} }
+
+// Between is sugar for l <= e AND e <= r.
+func Between(e Expr, lo, hi Expr) Expr { return And(Ge(e, lo), Le(e, hi)) }
+
+// Kind implements Expr.
+func (c CmpE) Kind(s types.Schema) (types.Kind, error) {
+	lk, err := c.L.Kind(s)
+	if err != nil {
+		return types.Invalid, err
+	}
+	rk, err := c.R.Kind(s)
+	if err != nil {
+		return types.Invalid, err
+	}
+	if lk != rk {
+		return types.Invalid, fmt.Errorf("algebra: comparison kind mismatch %v vs %v", lk, rk)
+	}
+	if !lk.Comparable() {
+		return types.Invalid, fmt.Errorf("algebra: comparison on %v", lk)
+	}
+	return types.Bool, nil
+}
+
+// Columns implements Expr.
+func (c CmpE) Columns(dst []string) []string { return c.R.Columns(c.L.Columns(dst)) }
+
+// LogicE is AND/OR.
+type LogicE struct {
+	Op   ir.LogicOp
+	L, R Expr
+}
+
+// And builds a conjunction over all arguments.
+func And(es ...Expr) Expr { return fold(ir.And, es) }
+
+// Or builds a disjunction over all arguments.
+func Or(es ...Expr) Expr { return fold(ir.Or, es) }
+
+func fold(op ir.LogicOp, es []Expr) Expr {
+	if len(es) == 0 {
+		panic("algebra: empty logic expression")
+	}
+	e := es[0]
+	for _, r := range es[1:] {
+		e = LogicE{Op: op, L: e, R: r}
+	}
+	return e
+}
+
+// Kind implements Expr.
+func (l LogicE) Kind(s types.Schema) (types.Kind, error) {
+	for _, e := range []Expr{l.L, l.R} {
+		k, err := e.Kind(s)
+		if err != nil {
+			return types.Invalid, err
+		}
+		if k != types.Bool {
+			return types.Invalid, fmt.Errorf("algebra: logic over %v", k)
+		}
+	}
+	return types.Bool, nil
+}
+
+// Columns implements Expr.
+func (l LogicE) Columns(dst []string) []string { return l.R.Columns(l.L.Columns(dst)) }
+
+// NotE is boolean negation.
+type NotE struct{ E Expr }
+
+// Not negates.
+func Not(e Expr) NotE { return NotE{E: e} }
+
+// Kind implements Expr.
+func (n NotE) Kind(s types.Schema) (types.Kind, error) {
+	k, err := n.E.Kind(s)
+	if err != nil {
+		return types.Invalid, err
+	}
+	if k != types.Bool {
+		return types.Invalid, fmt.Errorf("algebra: NOT over %v", k)
+	}
+	return types.Bool, nil
+}
+
+// Columns implements Expr.
+func (n NotE) Columns(dst []string) []string { return n.E.Columns(dst) }
+
+// LikeE is LIKE / NOT LIKE with a constant pattern.
+type LikeE struct {
+	E       Expr
+	Pattern string
+	Negate  bool
+}
+
+// Like and NotLike build pattern predicates.
+func Like(e Expr, pattern string) LikeE    { return LikeE{E: e, Pattern: pattern} }
+func NotLike(e Expr, pattern string) LikeE { return LikeE{E: e, Pattern: pattern, Negate: true} }
+
+// Kind implements Expr.
+func (l LikeE) Kind(s types.Schema) (types.Kind, error) {
+	k, err := l.E.Kind(s)
+	if err != nil {
+		return types.Invalid, err
+	}
+	if k != types.String {
+		return types.Invalid, fmt.Errorf("algebra: LIKE over %v", k)
+	}
+	return types.Bool, nil
+}
+
+// Columns implements Expr.
+func (l LikeE) Columns(dst []string) []string { return l.E.Columns(dst) }
+
+// InListE is string set membership.
+type InListE struct {
+	E       Expr
+	Members []string
+}
+
+// In builds an IN (...) predicate.
+func In(e Expr, members ...string) InListE { return InListE{E: e, Members: members} }
+
+// Kind implements Expr.
+func (l InListE) Kind(s types.Schema) (types.Kind, error) {
+	k, err := l.E.Kind(s)
+	if err != nil {
+		return types.Invalid, err
+	}
+	if k != types.String {
+		return types.Invalid, fmt.Errorf("algebra: IN over %v", k)
+	}
+	return types.Bool, nil
+}
+
+// Columns implements Expr.
+func (l InListE) Columns(dst []string) []string { return l.E.Columns(dst) }
+
+// CaseE is CASE WHEN cond THEN a ELSE b END.
+type CaseE struct {
+	Cond, Then, Else Expr
+}
+
+// Case builds a two-armed case expression.
+func Case(cond, then, els Expr) CaseE { return CaseE{Cond: cond, Then: then, Else: els} }
+
+// Kind implements Expr.
+func (c CaseE) Kind(s types.Schema) (types.Kind, error) {
+	ck, err := c.Cond.Kind(s)
+	if err != nil {
+		return types.Invalid, err
+	}
+	if ck != types.Bool {
+		return types.Invalid, fmt.Errorf("algebra: CASE condition is %v", ck)
+	}
+	tk, err := c.Then.Kind(s)
+	if err != nil {
+		return types.Invalid, err
+	}
+	ek, err := c.Else.Kind(s)
+	if err != nil {
+		return types.Invalid, err
+	}
+	if tk != ek {
+		return types.Invalid, fmt.Errorf("algebra: CASE arm kinds %v vs %v", tk, ek)
+	}
+	return tk, nil
+}
+
+// Columns implements Expr.
+func (c CaseE) Columns(dst []string) []string {
+	return c.Else.Columns(c.Then.Columns(c.Cond.Columns(dst)))
+}
+
+// CastE converts numeric kinds.
+type CastE struct {
+	To types.Kind
+	E  Expr
+}
+
+// Cast builds a conversion.
+func Cast(to types.Kind, e Expr) CastE { return CastE{To: to, E: e} }
+
+// Kind implements Expr.
+func (c CastE) Kind(s types.Schema) (types.Kind, error) {
+	if _, err := c.E.Kind(s); err != nil {
+		return types.Invalid, err
+	}
+	return c.To, nil
+}
+
+// Columns implements Expr.
+func (c CastE) Columns(dst []string) []string { return c.E.Columns(dst) }

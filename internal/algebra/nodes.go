@@ -1,0 +1,326 @@
+package algebra
+
+import (
+	"fmt"
+
+	"inkfuse/internal/ir"
+	"inkfuse/internal/storage"
+	"inkfuse/internal/types"
+)
+
+// Node is a relational operator in a physical plan.
+type Node interface {
+	// Schema returns the operator's output columns.
+	Schema() (types.Schema, error)
+}
+
+// Scan reads columns of a base table.
+type Scan struct {
+	Table *storage.Table
+	Cols  []string // subset of the table schema; empty = all columns
+}
+
+// NewScan builds a scan over the listed columns.
+func NewScan(t *storage.Table, cols ...string) *Scan { return &Scan{Table: t, Cols: cols} }
+
+// Schema implements Node.
+func (s *Scan) Schema() (types.Schema, error) {
+	if len(s.Cols) == 0 {
+		return s.Table.Schema, nil
+	}
+	out := make(types.Schema, 0, len(s.Cols))
+	for _, c := range s.Cols {
+		i := s.Table.Schema.IndexOf(c)
+		if i < 0 {
+			return nil, fmt.Errorf("algebra: table %s has no column %q", s.Table.Name, c)
+		}
+		out = append(out, s.Table.Schema[i])
+	}
+	return out, nil
+}
+
+// Filter keeps rows satisfying Pred.
+type Filter struct {
+	In   Node
+	Pred Expr
+}
+
+// NewFilter builds a filter.
+func NewFilter(in Node, pred Expr) *Filter { return &Filter{In: in, Pred: pred} }
+
+// Schema implements Node.
+func (f *Filter) Schema() (types.Schema, error) {
+	s, err := f.In.Schema()
+	if err != nil {
+		return nil, err
+	}
+	if k, err := f.Pred.Kind(s); err != nil {
+		return nil, err
+	} else if k != types.Bool {
+		return nil, fmt.Errorf("algebra: filter predicate is %v", k)
+	}
+	return s, nil
+}
+
+// NamedExpr is a computed column.
+type NamedExpr struct {
+	As string
+	E  Expr
+}
+
+// Map extends the input with computed columns (existing columns pass
+// through).
+type Map struct {
+	In    Node
+	Exprs []NamedExpr
+}
+
+// NewMap builds a projection extension.
+func NewMap(in Node, exprs ...NamedExpr) *Map { return &Map{In: in, Exprs: exprs} }
+
+// Schema implements Node.
+func (m *Map) Schema() (types.Schema, error) {
+	s, err := m.In.Schema()
+	if err != nil {
+		return nil, err
+	}
+	out := append(types.Schema{}, s...)
+	for _, ne := range m.Exprs {
+		k, err := ne.E.Kind(out)
+		if err != nil {
+			return nil, fmt.Errorf("algebra: map %q: %w", ne.As, err)
+		}
+		out = append(out, types.ColumnDesc{Name: ne.As, Kind: k})
+	}
+	return out, nil
+}
+
+// HashJoin joins Build (left) against Probe (right) on equality of the key
+// column lists. Modes follow ir.JoinMode; for LeftOuterJoin, Probe is the
+// outer side and MatchedAs (if set) exposes the match marker as a bool
+// column for counting aggregates over the outer join (Q13).
+type HashJoin struct {
+	Build, Probe         Node
+	BuildKeys, ProbeKeys []string
+	// BuildCols lists build-side columns carried to the output (keys are
+	// carried automatically when referenced downstream).
+	BuildCols []string
+	Mode      ir.JoinMode
+	MatchedAs string
+}
+
+// Schema implements Node: probe columns, then carried build columns, then
+// the match marker.
+func (j *HashJoin) Schema() (types.Schema, error) {
+	ps, err := j.Probe.Schema()
+	if err != nil {
+		return nil, err
+	}
+	bs, err := j.Build.Schema()
+	if err != nil {
+		return nil, err
+	}
+	if len(j.BuildKeys) != len(j.ProbeKeys) || len(j.BuildKeys) == 0 {
+		return nil, fmt.Errorf("algebra: join key arity %d vs %d", len(j.BuildKeys), len(j.ProbeKeys))
+	}
+	for i := range j.BuildKeys {
+		bi := bs.IndexOf(j.BuildKeys[i])
+		pi := ps.IndexOf(j.ProbeKeys[i])
+		if bi < 0 || pi < 0 {
+			return nil, fmt.Errorf("algebra: join key %q/%q missing", j.BuildKeys[i], j.ProbeKeys[i])
+		}
+		if bs[bi].Kind != ps[pi].Kind {
+			return nil, fmt.Errorf("algebra: join key kind mismatch %v vs %v", bs[bi].Kind, ps[pi].Kind)
+		}
+	}
+	out := append(types.Schema{}, ps...)
+	if j.Mode == ir.InnerJoin || j.Mode == ir.LeftOuterJoin {
+		for _, c := range j.BuildCols {
+			i := bs.IndexOf(c)
+			if i < 0 {
+				return nil, fmt.Errorf("algebra: join build column %q missing", c)
+			}
+			if out.IndexOf(c) >= 0 {
+				return nil, fmt.Errorf("algebra: join output column %q ambiguous", c)
+			}
+			out = append(out, bs[i])
+		}
+	}
+	if j.Mode == ir.LeftOuterJoin && j.MatchedAs != "" {
+		out = append(out, types.ColumnDesc{Name: j.MatchedAs, Kind: types.Bool})
+	}
+	return out, nil
+}
+
+// AggFn is a logical aggregate function.
+type AggFn int
+
+const (
+	// AggSum sums an int64 or float64 column.
+	AggSum AggFn = iota
+	// AggCount counts rows (no argument).
+	AggCount
+	// AggCountIf counts rows where a bool column is true (COUNT over the
+	// non-null side of an outer join).
+	AggCountIf
+	// AggMin / AggMax track extrema of float64 or int32 columns.
+	AggMin
+	AggMax
+	// AggAvg is SUM/COUNT of a float64 column.
+	AggAvg
+)
+
+func (f AggFn) String() string {
+	return [...]string{"sum", "count", "count_if", "min", "max", "avg"}[f]
+}
+
+// AggSpec is one aggregate in a GroupBy.
+type AggSpec struct {
+	Fn  AggFn
+	Col string // empty for AggCount
+	As  string
+}
+
+// Sum/Count/CountIf/Min/Max/Avg are AggSpec constructors.
+func Sum(col, as string) AggSpec     { return AggSpec{Fn: AggSum, Col: col, As: as} }
+func Count(as string) AggSpec        { return AggSpec{Fn: AggCount, As: as} }
+func CountIf(col, as string) AggSpec { return AggSpec{Fn: AggCountIf, Col: col, As: as} }
+func MinOf(col, as string) AggSpec   { return AggSpec{Fn: AggMin, Col: col, As: as} }
+func MaxOf(col, as string) AggSpec   { return AggSpec{Fn: AggMax, Col: col, As: as} }
+func Avg(col, as string) AggSpec     { return AggSpec{Fn: AggAvg, Col: col, As: as} }
+
+// GroupBy aggregates by the key columns (keyless = static aggregation).
+// Keys listed in NoCase group case-insensitively: comparison happens on the
+// lowercase equivalence-class representative while the displayed value is an
+// original from the group (paper §IV-D collations).
+type GroupBy struct {
+	In     Node
+	Keys   []string
+	Aggs   []AggSpec
+	NoCase []string
+}
+
+// NewGroupBy builds an aggregation.
+func NewGroupBy(in Node, keys []string, aggs ...AggSpec) *GroupBy {
+	return &GroupBy{In: in, Keys: keys, Aggs: aggs}
+}
+
+// Schema implements Node: keys then aggregates. A GroupBy with keys and no
+// aggregates is DISTINCT.
+func (g *GroupBy) Schema() (types.Schema, error) {
+	s, err := g.In.Schema()
+	if err != nil {
+		return nil, err
+	}
+	if len(g.Keys) == 0 && len(g.Aggs) == 0 {
+		return nil, fmt.Errorf("algebra: aggregation needs keys or aggregates")
+	}
+	for _, k := range g.NoCase {
+		i := s.IndexOf(k)
+		if i < 0 || s[i].Kind != types.String {
+			return nil, fmt.Errorf("algebra: case-insensitive key %q must be a string key", k)
+		}
+		found := false
+		for _, key := range g.Keys {
+			found = found || key == k
+		}
+		if !found {
+			return nil, fmt.Errorf("algebra: case-insensitive column %q is not a group key", k)
+		}
+	}
+	var out types.Schema
+	for _, k := range g.Keys {
+		i := s.IndexOf(k)
+		if i < 0 {
+			return nil, fmt.Errorf("algebra: group key %q missing", k)
+		}
+		out = append(out, s[i])
+	}
+	for _, a := range g.Aggs {
+		k, err := aggResultKind(a, s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, types.ColumnDesc{Name: a.As, Kind: k})
+	}
+	return out, nil
+}
+
+func aggResultKind(a AggSpec, s types.Schema) (types.Kind, error) {
+	var ck types.Kind
+	if a.Col != "" {
+		i := s.IndexOf(a.Col)
+		if i < 0 {
+			return types.Invalid, fmt.Errorf("algebra: aggregate column %q missing", a.Col)
+		}
+		ck = s[i].Kind
+	}
+	switch a.Fn {
+	case AggSum:
+		if ck != types.Int64 && ck != types.Float64 {
+			return types.Invalid, fmt.Errorf("algebra: SUM over %v", ck)
+		}
+		return ck, nil
+	case AggCount:
+		return types.Int64, nil
+	case AggCountIf:
+		if ck != types.Bool {
+			return types.Invalid, fmt.Errorf("algebra: COUNT-IF over %v", ck)
+		}
+		return types.Int64, nil
+	case AggMin, AggMax:
+		if ck != types.Float64 && ck != types.Int32 && ck != types.Date {
+			return types.Invalid, fmt.Errorf("algebra: MIN/MAX over %v", ck)
+		}
+		return ck, nil
+	case AggAvg:
+		if ck != types.Float64 {
+			return types.Invalid, fmt.Errorf("algebra: AVG over %v", ck)
+		}
+		return types.Float64, nil
+	default:
+		return types.Invalid, fmt.Errorf("algebra: unknown aggregate %v", a.Fn)
+	}
+}
+
+// Project selects and orders output columns.
+type Project struct {
+	In   Node
+	Cols []string
+}
+
+// NewProject builds a projection.
+func NewProject(in Node, cols ...string) *Project { return &Project{In: in, Cols: cols} }
+
+// Schema implements Node.
+func (p *Project) Schema() (types.Schema, error) {
+	s, err := p.In.Schema()
+	if err != nil {
+		return nil, err
+	}
+	out := make(types.Schema, 0, len(p.Cols))
+	for _, c := range p.Cols {
+		i := s.IndexOf(c)
+		if i < 0 {
+			return nil, fmt.Errorf("algebra: projected column %q missing", c)
+		}
+		out = append(out, s[i])
+	}
+	return out, nil
+}
+
+// OrderBy sorts (and limits) the final result. It must be the plan root.
+type OrderBy struct {
+	In    Node
+	Keys  []string
+	Desc  []bool
+	Limit int
+}
+
+// NewOrderBy builds the ordering node.
+func NewOrderBy(in Node, keys []string, desc []bool, limit int) *OrderBy {
+	return &OrderBy{In: in, Keys: keys, Desc: desc, Limit: limit}
+}
+
+// Schema implements Node.
+func (o *OrderBy) Schema() (types.Schema, error) { return o.In.Schema() }

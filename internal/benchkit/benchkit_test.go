@@ -1,0 +1,128 @@
+package benchkit
+
+import (
+	"strings"
+	"testing"
+
+	"inkfuse/internal/exec"
+	"inkfuse/internal/tpch"
+)
+
+// Fast harness checks at a tiny scale factor: the experiment machinery must
+// run end to end and produce structurally sound output.
+
+var tinyCfg = Config{SF: 0.001, Runs: 1, Queries: []string{"q1", "q6"}}
+
+func TestFig9Harness(t *testing.T) {
+	rel, cells, err := Fig9(tinyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(tinyCfg.Queries)*len(Fig9Systems) {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	for _, q := range tinyCfg.Queries {
+		if rel[q]["vectorized"] != 1.0 {
+			t.Fatalf("%s: vectorized relative = %v, want 1.0", q, rel[q]["vectorized"])
+		}
+		for _, sys := range Fig9Systems {
+			if rel[q][sys.Name] <= 0 {
+				t.Fatalf("%s/%s: non-positive relative throughput", q, sys.Name)
+			}
+		}
+	}
+	var sb strings.Builder
+	PrintFig9(&sb, rel, tinyCfg.Queries)
+	if !strings.Contains(sb.String(), "q6") {
+		t.Fatal("fig9 table missing query row")
+	}
+}
+
+func TestTable1Harness(t *testing.T) {
+	cells, err := Table1(Config{SF: 0.001, Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	// The structural Table I claim: the vectorized backend materializes
+	// buffer traffic the fused code avoids.
+	for i := 0; i < 4; i += 2 {
+		vec, jit := cells[i], cells[i+1]
+		if vec.System != "vectorized" || jit.System != "compiling" {
+			t.Fatalf("unexpected order: %s/%s", vec.System, jit.System)
+		}
+		if vec.Stats.MaterializedBytes <= jit.Stats.MaterializedBytes {
+			t.Fatalf("%s: vectorized buffer traffic not larger", vec.Query)
+		}
+	}
+	var sb strings.Builder
+	PrintTable1(&sb, cells)
+	if !strings.Contains(sb.String(), "vm-ops/tuple") {
+		t.Fatal("table1 header missing")
+	}
+}
+
+func TestFig10Harness(t *testing.T) {
+	cfg := Config{SF: 0.001, Runs: 1, Queries: []string{"q6"}}
+	cells, err := Fig10(cfg, []float64{0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(Fig10Systems) {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	var sawWait bool
+	for _, c := range cells {
+		if c.Rows == 0 {
+			t.Fatalf("%s: empty result", c.System)
+		}
+		if strings.Contains(c.System, "compiling") && c.CompileWait > 0 {
+			sawWait = true
+		}
+	}
+	if !sawWait {
+		t.Fatal("no compiling system reported compile wait (the Fig 10 dashed areas)")
+	}
+	var sb strings.Builder
+	PrintCells(&sb, cells)
+	if !strings.Contains(sb.String(), "compile-wait") {
+		t.Fatal("cells header missing")
+	}
+}
+
+func TestAblationHarnesses(t *testing.T) {
+	cfg := Config{SF: 0.001, Runs: 1}
+	if rows, err := AblationChunkSize(cfg, "q6", []int{256, 1024}); err != nil || len(rows) != 2 {
+		t.Fatalf("chunk: %v %d", err, len(rows))
+	}
+	if rows, err := AblationHybridExploration(cfg, "q1", []int{10, 20}); err != nil || len(rows) != 2 {
+		t.Fatalf("explore: %v %d", err, len(rows))
+	}
+	if exec.HybridExploreEvery != 20 {
+		t.Fatal("exploration ablation leaked its override")
+	}
+	if rows, err := AblationKeyPacking(cfg); err != nil || len(rows) != 3 {
+		t.Fatalf("pack: %v %d", err, len(rows))
+	}
+	if rows, err := AblationROFSplit(cfg, "q3"); err != nil || len(rows) != 3 {
+		t.Fatalf("rof: %v %d", err, len(rows))
+	}
+	if rows, err := AblationMorselSize(cfg, "q1", []int{4096}); err != nil || len(rows) != 1 {
+		t.Fatalf("morsel: %v %d", err, len(rows))
+	}
+	var sb strings.Builder
+	PrintAblation(&sb, "t", []AblationRow{{Label: "l", Extra: "e"}})
+	if !strings.Contains(sb.String(), "## t") {
+		t.Fatal("ablation printer")
+	}
+}
+
+func TestCatalogRows(t *testing.T) {
+	cat := tpch.Generate(0.001, 1)
+	s := CatalogRows(cat)
+	if !strings.Contains(s, "lineitem=") {
+		t.Fatalf("catalog summary: %s", s)
+	}
+}

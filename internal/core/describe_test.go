@@ -1,0 +1,76 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"inkfuse/internal/ir"
+	"inkfuse/internal/rt"
+	"inkfuse/internal/storage"
+	"inkfuse/internal/types"
+)
+
+func TestDescribe(t *testing.T) {
+	tbl := storage.NewTable("t", types.Schema{{Name: "a", Kind: types.Int64}})
+	a := NewIU(types.Int64, "a")
+	cond := NewIU(types.Bool, "cond")
+	inner := NewIU(types.Int64, "a2")
+	jt := &rt.JoinTableState{Table: rt.NewJoinTable(2)}
+	agg := &rt.AggTableState{}
+	p := &Plan{
+		Name: "demo",
+		Pipelines: []*Pipeline{
+			{
+				Name:   "p0",
+				Source: &TableScan{Table: tbl, Cols: []int{0}, IUs: []*IU{a}},
+				Ops: []SubOp{
+					&Cmp{Op: ir.Gt, L: Col(a), R: ConstOf(rt.ConstI64(1)), Out: cond},
+					&FilterScope{Cond: cond},
+					&FilterCopy{Cond: cond, Src: a, Dst: inner},
+					&JoinInsert{Row: NewIU(types.Ptr, "r"), State: jt},
+				},
+				SealJoins: []*rt.JoinTableState{jt},
+			},
+			{
+				Name:      "p1",
+				Source:    &AggRead{State: agg, Out: NewIU(types.Ptr, "g")},
+				Result:    []*IU{inner},
+				MergeAggs: []*AggFinalize{{State: agg}},
+			},
+		},
+		Sort: &SortSpec{Keys: []int{0}, Desc: []bool{true}, Limit: 3},
+	}
+	s := p.Describe()
+	for _, want := range []string{
+		"plan demo: 2 pipeline(s)",
+		"source: scan t(a)",
+		"cmp_gt_i64_ck",
+		"(fused into copies)",
+		"filtercopy_i64",
+		"join hash table build",
+		"aggregate groups",
+		"sink: result(a2)",
+		"order by [0] desc=[true] limit=3",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("describe missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestPlanFinalKinds(t *testing.T) {
+	p := &Plan{Name: "empty"}
+	if _, err := p.FinalKinds(); err == nil {
+		t.Fatal("empty plan must error")
+	}
+	p.Pipelines = []*Pipeline{{Name: "sink"}}
+	if _, err := p.FinalKinds(); err == nil {
+		t.Fatal("sink-final plan must error")
+	}
+	out := NewIU(types.Float64, "x")
+	p.Pipelines = append(p.Pipelines, &Pipeline{Name: "res", Result: []*IU{out}})
+	ks, err := p.FinalKinds()
+	if err != nil || len(ks) != 1 || ks[0] != types.Float64 {
+		t.Fatalf("final kinds: %v %v", ks, err)
+	}
+}

@@ -1,0 +1,35 @@
+// Package core implements the paper's primary contribution: the suboperator
+// layer of Incremental Fusion (paper §IV). Relational operators are lowered
+// into DAGs of fine-grained suboperators, each of which satisfies the
+// *enumeration invariant* — its parameter space is finite — so the engine can
+// enumerate every instantiation, wrap it between a tuple-buffer source and
+// sink, and generate a complete vectorized interpreter ahead of time with the
+// same compilation stack it uses for operator-fusing JIT compilation.
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"inkfuse/internal/types"
+)
+
+// IU is an "information unit" (InkFuse terminology): a typed value flowing
+// through a pipeline. In fused code an IU becomes a loop-local variable; in
+// the vectorized interpreter it becomes a tuple-buffer column.
+type IU struct {
+	ID   int
+	K    types.Kind
+	Name string
+}
+
+var iuCounter atomic.Int64
+
+// NewIU creates a fresh IU with a unique identity.
+func NewIU(k types.Kind, name string) *IU {
+	return &IU{ID: int(iuCounter.Add(1)), K: k, Name: name}
+}
+
+func (iu *IU) String() string {
+	return fmt.Sprintf("%s#%d:%v", iu.Name, iu.ID, iu.K)
+}

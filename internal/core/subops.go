@@ -1,0 +1,391 @@
+package core
+
+import (
+	"fmt"
+
+	"inkfuse/internal/ir"
+	"inkfuse/internal/rt"
+	"inkfuse/internal/types"
+)
+
+// Operand is one expression input: a column IU or a runtime constant. The
+// constant variants of the expression suboperators are what let the engine
+// run queries with arbitrary literals while keeping the primitive set finite
+// (paper §IV-C).
+type Operand struct {
+	IU    *IU
+	Const *rt.ConstState
+}
+
+// Col makes a column operand.
+func Col(iu *IU) Operand { return Operand{IU: iu} }
+
+// ConstOf makes a constant operand.
+func ConstOf(c *rt.ConstState) Operand { return Operand{Const: c} }
+
+// Kind returns the operand's value kind.
+func (o Operand) Kind() types.Kind {
+	if o.IU != nil {
+		return o.IU.K
+	}
+	return o.Const.Kind
+}
+
+func (o Operand) sideTag() string {
+	if o.IU != nil {
+		return "c"
+	}
+	return "k"
+}
+
+// expr lowers the operand to an IR expression inside g.
+func (o Operand) expr(g *Gen) (ir.Expr, error) {
+	if o.IU != nil {
+		v, err := g.Var(o.IU)
+		if err != nil {
+			return nil, err
+		}
+		return ir.Ref(v), nil
+	}
+	return ir.ConstRef{StateID: g.AddState(o.Const), K: o.Const.Kind}, nil
+}
+
+func (o Operand) inputs() []*IU {
+	if o.IU != nil {
+		return []*IU{o.IU}
+	}
+	return nil
+}
+
+func (o Operand) states() []any {
+	if o.Const != nil {
+		return []any{o.Const}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Expression suboperators (paper §III, §IV-C)
+
+// ScanCol materializes a source column — the table-scan primitive that reads
+// base-table (or hash-table snapshot) data into the first tuple buffer
+// (paper Fig 3, step 1). Fused pipelines skip it: source IUs bind directly.
+type ScanCol struct {
+	Src, Dst *IU
+}
+
+// PrimitiveID implements SubOp.
+func (s *ScanCol) PrimitiveID() string { return "tscan_" + s.Src.K.String() }
+
+// Inputs implements SubOp.
+func (s *ScanCol) Inputs() []*IU { return []*IU{s.Src} }
+
+// Outputs implements SubOp.
+func (s *ScanCol) Outputs() []*IU { return []*IU{s.Dst} }
+
+// States implements SubOp.
+func (s *ScanCol) States() []any { return nil }
+
+// Consume implements SubOp.
+func (s *ScanCol) Consume(g *Gen) error {
+	v, err := g.Var(s.Src)
+	if err != nil {
+		return err
+	}
+	g.Append(ir.Assign{Dst: g.Def(s.Dst), E: ir.Ref(v)})
+	return nil
+}
+
+// Arith computes a binary arithmetic expression.
+type Arith struct {
+	Op   ir.BinOp
+	L, R Operand
+	Out  *IU
+}
+
+// PrimitiveID implements SubOp.
+func (a *Arith) PrimitiveID() string {
+	return fmt.Sprintf("expr_%v_%v_%s%s", a.Op, a.Out.K, a.L.sideTag(), a.R.sideTag())
+}
+
+// Inputs implements SubOp.
+func (a *Arith) Inputs() []*IU { return append(a.L.inputs(), a.R.inputs()...) }
+
+// Outputs implements SubOp.
+func (a *Arith) Outputs() []*IU { return []*IU{a.Out} }
+
+// States implements SubOp.
+func (a *Arith) States() []any { return append(a.L.states(), a.R.states()...) }
+
+// Consume implements SubOp.
+func (a *Arith) Consume(g *Gen) error {
+	l, err := a.L.expr(g)
+	if err != nil {
+		return err
+	}
+	r, err := a.R.expr(g)
+	if err != nil {
+		return err
+	}
+	g.Append(ir.Assign{Dst: g.Def(a.Out), E: ir.BinExpr{Op: a.Op, L: l, R: r}})
+	return nil
+}
+
+// Cmp computes a comparison, producing a bool IU.
+type Cmp struct {
+	Op   ir.CmpOp
+	L, R Operand
+	Out  *IU
+}
+
+// PrimitiveID implements SubOp.
+func (c *Cmp) PrimitiveID() string {
+	return fmt.Sprintf("cmp_%v_%v_%s%s", c.Op, c.L.Kind(), c.L.sideTag(), c.R.sideTag())
+}
+
+// Inputs implements SubOp.
+func (c *Cmp) Inputs() []*IU { return append(c.L.inputs(), c.R.inputs()...) }
+
+// Outputs implements SubOp.
+func (c *Cmp) Outputs() []*IU { return []*IU{c.Out} }
+
+// States implements SubOp.
+func (c *Cmp) States() []any { return append(c.L.states(), c.R.states()...) }
+
+// Consume implements SubOp.
+func (c *Cmp) Consume(g *Gen) error {
+	l, err := c.L.expr(g)
+	if err != nil {
+		return err
+	}
+	r, err := c.R.expr(g)
+	if err != nil {
+		return err
+	}
+	g.Append(ir.Assign{Dst: g.Def(c.Out), E: ir.CmpExpr{Op: c.Op, L: l, R: r}})
+	return nil
+}
+
+// Logic combines two bool IUs with AND/OR.
+type Logic struct {
+	Op   ir.LogicOp
+	L, R *IU
+	Out  *IU
+}
+
+// PrimitiveID implements SubOp.
+func (l *Logic) PrimitiveID() string { return fmt.Sprintf("logic_%v", l.Op) }
+
+// Inputs implements SubOp.
+func (l *Logic) Inputs() []*IU { return []*IU{l.L, l.R} }
+
+// Outputs implements SubOp.
+func (l *Logic) Outputs() []*IU { return []*IU{l.Out} }
+
+// States implements SubOp.
+func (l *Logic) States() []any { return nil }
+
+// Consume implements SubOp.
+func (l *Logic) Consume(g *Gen) error {
+	lv, err := g.Var(l.L)
+	if err != nil {
+		return err
+	}
+	rv, err := g.Var(l.R)
+	if err != nil {
+		return err
+	}
+	g.Append(ir.Assign{Dst: g.Def(l.Out), E: ir.LogicExpr{Op: l.Op, L: ir.Ref(lv), R: ir.Ref(rv)}})
+	return nil
+}
+
+// Not negates a bool IU.
+type Not struct {
+	In, Out *IU
+}
+
+// PrimitiveID implements SubOp.
+func (n *Not) PrimitiveID() string { return "not" }
+
+// Inputs implements SubOp.
+func (n *Not) Inputs() []*IU { return []*IU{n.In} }
+
+// Outputs implements SubOp.
+func (n *Not) Outputs() []*IU { return []*IU{n.Out} }
+
+// States implements SubOp.
+func (n *Not) States() []any { return nil }
+
+// Consume implements SubOp.
+func (n *Not) Consume(g *Gen) error {
+	v, err := g.Var(n.In)
+	if err != nil {
+		return err
+	}
+	g.Append(ir.Assign{Dst: g.Def(n.Out), E: ir.NotExpr{E: ir.Ref(v)}})
+	return nil
+}
+
+// Cast converts between numeric kinds.
+type Cast struct {
+	In, Out *IU
+}
+
+// PrimitiveID implements SubOp.
+func (c *Cast) PrimitiveID() string { return fmt.Sprintf("cast_%v_%v", c.In.K, c.Out.K) }
+
+// Inputs implements SubOp.
+func (c *Cast) Inputs() []*IU { return []*IU{c.In} }
+
+// Outputs implements SubOp.
+func (c *Cast) Outputs() []*IU { return []*IU{c.Out} }
+
+// States implements SubOp.
+func (c *Cast) States() []any { return nil }
+
+// Consume implements SubOp.
+func (c *Cast) Consume(g *Gen) error {
+	v, err := g.Var(c.In)
+	if err != nil {
+		return err
+	}
+	g.Append(ir.Assign{Dst: g.Def(c.Out), E: ir.CastExpr{To: c.Out.K, E: ir.Ref(v)}})
+	return nil
+}
+
+// Like evaluates a LIKE / NOT LIKE pattern against a string IU.
+type Like struct {
+	In     *IU
+	State  *rt.LikeState
+	Negate bool
+	Out    *IU
+}
+
+// PrimitiveID implements SubOp.
+func (l *Like) PrimitiveID() string {
+	if l.Negate {
+		return "notlike"
+	}
+	return "like"
+}
+
+// Inputs implements SubOp.
+func (l *Like) Inputs() []*IU { return []*IU{l.In} }
+
+// Outputs implements SubOp.
+func (l *Like) Outputs() []*IU { return []*IU{l.Out} }
+
+// States implements SubOp.
+func (l *Like) States() []any { return []any{l.State} }
+
+// Consume implements SubOp.
+func (l *Like) Consume(g *Gen) error {
+	v, err := g.Var(l.In)
+	if err != nil {
+		return err
+	}
+	id := g.AddState(l.State)
+	g.Append(ir.Assign{Dst: g.Def(l.Out), E: ir.LikeExpr{S: ir.Ref(v), StateID: id, Negate: l.Negate}})
+	return nil
+}
+
+// InList tests string membership in a constant set (IN (...) predicates).
+type InList struct {
+	In    *IU
+	State *rt.InListState
+	Out   *IU
+}
+
+// PrimitiveID implements SubOp.
+func (l *InList) PrimitiveID() string { return "inlist" }
+
+// Inputs implements SubOp.
+func (l *InList) Inputs() []*IU { return []*IU{l.In} }
+
+// Outputs implements SubOp.
+func (l *InList) Outputs() []*IU { return []*IU{l.Out} }
+
+// States implements SubOp.
+func (l *InList) States() []any { return []any{l.State} }
+
+// Consume implements SubOp.
+func (l *InList) Consume(g *Gen) error {
+	v, err := g.Var(l.In)
+	if err != nil {
+		return err
+	}
+	id := g.AddState(l.State)
+	g.Append(ir.Assign{Dst: g.Def(l.Out), E: ir.InListExpr{S: ir.Ref(v), StateID: id}})
+	return nil
+}
+
+// ToLower maps a string to its lowercase equivalence-class representative —
+// the normalization step of case-insensitive collations (paper §IV-D).
+type ToLower struct {
+	In, Out *IU
+}
+
+// PrimitiveID implements SubOp.
+func (l *ToLower) PrimitiveID() string { return "strlower" }
+
+// Inputs implements SubOp.
+func (l *ToLower) Inputs() []*IU { return []*IU{l.In} }
+
+// Outputs implements SubOp.
+func (l *ToLower) Outputs() []*IU { return []*IU{l.Out} }
+
+// States implements SubOp.
+func (l *ToLower) States() []any { return nil }
+
+// Consume implements SubOp.
+func (l *ToLower) Consume(g *Gen) error {
+	v, err := g.Var(l.In)
+	if err != nil {
+		return err
+	}
+	g.Append(ir.Assign{Dst: g.Def(l.Out), E: ir.StrLower{E: ir.Ref(v)}})
+	return nil
+}
+
+// Case is a two-armed CASE WHEN expression.
+type Case struct {
+	Cond       *IU
+	Then, Else Operand
+	Out        *IU
+}
+
+// PrimitiveID implements SubOp.
+func (c *Case) PrimitiveID() string {
+	return fmt.Sprintf("case_%v_%s%s", c.Out.K, c.Then.sideTag(), c.Else.sideTag())
+}
+
+// Inputs implements SubOp.
+func (c *Case) Inputs() []*IU {
+	in := []*IU{c.Cond}
+	in = append(in, c.Then.inputs()...)
+	return append(in, c.Else.inputs()...)
+}
+
+// Outputs implements SubOp.
+func (c *Case) Outputs() []*IU { return []*IU{c.Out} }
+
+// States implements SubOp.
+func (c *Case) States() []any { return append(c.Then.states(), c.Else.states()...) }
+
+// Consume implements SubOp.
+func (c *Case) Consume(g *Gen) error {
+	cv, err := g.Var(c.Cond)
+	if err != nil {
+		return err
+	}
+	t, err := c.Then.expr(g)
+	if err != nil {
+		return err
+	}
+	e, err := c.Else.expr(g)
+	if err != nil {
+		return err
+	}
+	g.Append(ir.Assign{Dst: g.Def(c.Out), E: ir.CondExpr{Cond: ir.Ref(cv), Then: t, Else: e}})
+	return nil
+}

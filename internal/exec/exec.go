@@ -1,0 +1,264 @@
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"inkfuse/internal/core"
+	"inkfuse/internal/interp"
+	"inkfuse/internal/rt"
+	"inkfuse/internal/stats"
+	"inkfuse/internal/storage"
+	"inkfuse/internal/types"
+	"inkfuse/internal/vm"
+)
+
+// Options configures query execution.
+type Options struct {
+	Backend    Backend
+	Workers    int           // default: GOMAXPROCS
+	ChunkSize  int           // tuple-buffer rows, default 1024
+	MorselSize int           // morsel rows, default 16384
+	Latency    *LatencyModel // compile latency model; default LatencyC (nil) — ignored by the vectorized backend
+	// CompileJobs bounds the hybrid backend's concurrent background
+	// compilations ("compilation overhead can be bounded by limiting the
+	// number of concurrent compilation jobs", paper §V-B). 0 = one job per
+	// pipeline, the paper's default.
+	CompileJobs int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.ChunkSize <= 0 {
+		o.ChunkSize = storage.DefaultChunkCap
+	}
+	if o.MorselSize <= 0 {
+		o.MorselSize = storage.DefaultMorselRows
+	}
+	if o.Latency == nil {
+		l := LatencyC
+		o.Latency = &l
+	}
+	return o
+}
+
+// Result is a completed query.
+type Result struct {
+	Cols  []string
+	Chunk *storage.Chunk
+	Stats stats.Counters
+	// Wall is the end-to-end execution time.
+	Wall time.Duration
+}
+
+// Rows returns the number of result rows.
+func (r *Result) Rows() int { return r.Chunk.Rows() }
+
+// runner executes one pipeline's morsels for one backend.
+type runner interface {
+	runMorsel(w int, ctx *vm.Ctx, src []*storage.Vector, n int, out *storage.Chunk)
+	// finish is called once the pipeline completes (cancels background work)
+	// and returns compile statistics to fold into the query stats.
+	finish() (compileTime, compileWait time.Duration)
+}
+
+// Execute runs a lowered plan and returns its result.
+func Execute(plan *core.Plan, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+
+	var reg *interp.Registry
+	if opts.Backend != BackendCompiling && opts.Backend != BackendROF {
+		var err error
+		if reg, err = interp.Default(); err != nil {
+			return nil, err
+		}
+	}
+
+	ctxs := make([]*vm.Ctx, opts.Workers)
+	for i := range ctxs {
+		ctxs[i] = vm.NewCtx()
+	}
+
+	var res stats.Counters
+	var finalChunks []*storage.Chunk
+
+	// The hybrid backend starts background compilation for every pipeline as
+	// soon as the query enters the system (paper §V-B): by the time a later
+	// pipeline runs, its fused code is usually already waiting.
+	var bgs []*hybridCompile
+	if opts.Backend == BackendHybrid {
+		bgs = startHybridCompiles(plan.Pipelines, *opts.Latency, opts.CompileJobs)
+		defer func() {
+			for _, h := range bgs {
+				h.abandon()
+			}
+		}()
+	}
+
+	for pi, pipe := range plan.Pipelines {
+		binder, err := bindSource(pipe)
+		if err != nil {
+			return nil, fmt.Errorf("exec: %s/%s: %w", plan.Name, pipe.Name, err)
+		}
+		var bg *hybridCompile
+		if bgs != nil {
+			bg = bgs[pi]
+		}
+		r, err := newRunner(pipe, opts, reg, bg)
+		if err != nil {
+			return nil, fmt.Errorf("exec: %s/%s: %w", plan.Name, pipe.Name, err)
+		}
+
+		var outs []*storage.Chunk
+		if pipe.Result != nil {
+			outs = make([]*storage.Chunk, opts.Workers)
+			for i := range outs {
+				outs[i] = storage.NewChunk(pipe.ResultKinds())
+			}
+		}
+
+		morsels := storage.Morsels(binder.total, opts.MorselSize)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < opts.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				ctx := ctxs[w]
+				var out *storage.Chunk
+				if outs != nil {
+					out = outs[w]
+				}
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(morsels) {
+						return
+					}
+					src, n := binder.bind(morsels[i])
+					r.runMorsel(w, ctx, src, n, out)
+					ctx.Counters.Tuples += int64(n)
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		ct, cw := r.finish()
+		res.CompileTime += ct
+		res.CompileWait += cw
+
+		if err := finalizePipeline(pipe, ctxs); err != nil {
+			return nil, err
+		}
+		if pipe.Result != nil {
+			finalChunks = outs
+		}
+	}
+
+	for _, ctx := range ctxs {
+		res.Add(&ctx.Counters)
+	}
+
+	kinds, err := plan.FinalKinds()
+	if err != nil {
+		return nil, err
+	}
+	out := storage.NewChunk(kinds)
+	for _, c := range finalChunks {
+		out.AppendChunk(c)
+	}
+	if plan.Sort != nil {
+		out = sortChunk(out, plan.Sort)
+	}
+	return &Result{Cols: plan.ColNames, Chunk: out, Stats: res, Wall: time.Since(start)}, nil
+}
+
+// sourceBinder adapts a pipeline source to morsel-range vector bindings.
+type sourceBinder struct {
+	total int
+	bind  func(m storage.Morsel) ([]*storage.Vector, int)
+}
+
+func bindSource(pipe *core.Pipeline) (sourceBinder, error) {
+	switch s := pipe.Source.(type) {
+	case *core.TableScan:
+		cols := make([]*storage.Vector, len(s.Cols))
+		for i, ci := range s.Cols {
+			cols[i] = s.Table.Cols[ci]
+		}
+		return sourceBinder{
+			total: s.Table.Rows(),
+			bind: func(m storage.Morsel) ([]*storage.Vector, int) {
+				vs := make([]*storage.Vector, len(cols))
+				for i, c := range cols {
+					vs[i] = c.Slice(m.Start, m.End)
+				}
+				return vs, m.Rows()
+			},
+		}, nil
+	case *core.AggRead:
+		if s.State.Global == nil {
+			return sourceBinder{}, fmt.Errorf("aggregate source read before its build pipeline completed")
+		}
+		snap := s.State.Global.Snapshot()
+		return sourceBinder{
+			total: len(snap),
+			bind: func(m storage.Morsel) ([]*storage.Vector, int) {
+				v := &storage.Vector{Kind: types.Ptr, Ptr: snap[m.Start:m.End]}
+				return []*storage.Vector{v}, m.Rows()
+			},
+		}, nil
+	default:
+		return sourceBinder{}, fmt.Errorf("unknown source %T", pipe.Source)
+	}
+}
+
+func finalizePipeline(pipe *core.Pipeline, ctxs []*vm.Ctx) error {
+	for _, js := range pipe.SealJoins {
+		js.Table.Seal()
+	}
+	if len(pipe.MergeAggs) == 0 {
+		return nil
+	}
+	taken := make([]map[*rt.AggTableState]*rt.AggTable, len(ctxs))
+	for i, ctx := range ctxs {
+		taken[i] = ctx.TakeAggTables()
+	}
+	for _, fin := range pipe.MergeAggs {
+		var parts []*rt.AggTable
+		for _, m := range taken {
+			if t, ok := m[fin.State]; ok {
+				parts = append(parts, t)
+			}
+		}
+		var global *rt.AggTable
+		switch len(parts) {
+		case 0:
+			global = fin.State.NewInstance()
+		case 1:
+			global = parts[0]
+		default:
+			global = fin.State.NewInstance()
+			for _, p := range parts {
+				fin.State.MergeInto(global, p)
+			}
+		}
+		if fin.Keyless && global.Groups() == 0 {
+			// SQL semantics: aggregates without GROUP BY produce one row
+			// even on empty input. The forced group reads as zeros (stand-in
+			// for SQL NULL; MIN/MAX init sentinels must not leak out).
+			row := global.FindOrCreate(nil, rt.Hash64(nil))
+			payload := row[rt.RowPayloadOff(row):]
+			for i := range payload {
+				payload[i] = 0
+			}
+		}
+		fin.State.Global = global
+	}
+	return nil
+}

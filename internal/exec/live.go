@@ -1,0 +1,100 @@
+package exec
+
+import "inkfuse/internal/core"
+
+// step is a slice of a pipeline between two materialization points: the ROF
+// staging points (paper §III — "both are DAGs of operators, starting with a
+// source and ending with a sink; only the scheduler needs to be aware of the
+// distinction").
+type step struct {
+	source []*core.IU
+	ops    []core.SubOp
+	emit   []*core.IU // live IUs materialized into the staging buffer
+}
+
+// splitSteps cuts a pipeline's suboperator list before every index where
+// splitBefore returns true and computes, per step, the source IUs it reads
+// from the previous staging buffer and the live IUs it must materialize for
+// later steps. The final step emits the pipeline result.
+func splitSteps(source []*core.IU, ops []core.SubOp, result []*core.IU,
+	splitBefore func(i int, op core.SubOp) bool) []step {
+	// Cut points.
+	cuts := []int{0}
+	for i, op := range ops {
+		if i > 0 && splitBefore(i, op) {
+			cuts = append(cuts, i)
+		}
+	}
+	cuts = append(cuts, len(ops))
+
+	// definedAt[iu] = order of first definition (source first, then op
+	// outputs), used to keep staging-buffer column order deterministic.
+	order := make(map[int]int)
+	byOrder := []*core.IU{}
+	note := func(iu *core.IU) {
+		if _, ok := order[iu.ID]; !ok {
+			order[iu.ID] = len(byOrder)
+			byOrder = append(byOrder, iu)
+		}
+	}
+	for _, iu := range source {
+		note(iu)
+	}
+	for _, op := range ops {
+		for _, iu := range op.Outputs() {
+			note(iu)
+		}
+	}
+
+	// neededFrom[k] = set of IU IDs consumed at or after ops index k, plus
+	// the pipeline result.
+	needed := make(map[int]bool)
+	for _, iu := range result {
+		needed[iu.ID] = true
+	}
+	neededFrom := make([]map[int]bool, len(ops)+1)
+	neededFrom[len(ops)] = cloneSet(needed)
+	for i := len(ops) - 1; i >= 0; i-- {
+		for _, iu := range ops[i].Inputs() {
+			needed[iu.ID] = true
+		}
+		neededFrom[i] = cloneSet(needed)
+	}
+
+	var steps []step
+	defined := make(map[int]bool)
+	for _, iu := range source {
+		defined[iu.ID] = true
+	}
+	prevEmit := source
+	for c := 0; c+1 < len(cuts); c++ {
+		lo, hi := cuts[c], cuts[c+1]
+		st := step{source: prevEmit, ops: ops[lo:hi]}
+		for _, op := range ops[lo:hi] {
+			for _, iu := range op.Outputs() {
+				defined[iu.ID] = true
+			}
+		}
+		if hi == len(ops) {
+			st.emit = result
+		} else {
+			// Live set at the cut: defined so far and needed later.
+			for _, iu := range byOrder {
+				if defined[iu.ID] && neededFrom[hi][iu.ID] {
+					st.emit = append(st.emit, iu)
+				}
+			}
+		}
+		steps = append(steps, st)
+		prevEmit = st.emit
+	}
+	return steps
+}
+
+func cloneSet(m map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

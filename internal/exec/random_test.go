@@ -1,0 +1,197 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"inkfuse/internal/algebra"
+	"inkfuse/internal/ir"
+	"inkfuse/internal/storage"
+	"inkfuse/internal/types"
+	"inkfuse/internal/volcano"
+)
+
+// TestRandomPlansDifferential builds random (type-correct) plans over random
+// data and checks that every backend agrees with the Volcano oracle — the
+// broad-coverage property test of DESIGN.md §6.
+func TestRandomPlansDifferential(t *testing.T) {
+	iters := 40
+	if testing.Short() {
+		iters = 8
+	}
+	for seed := 0; seed < iters; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(int64(seed)))
+			node := randomPlan(r)
+			want, err := volcano.Run(node)
+			if err != nil {
+				t.Fatalf("oracle: %v", err)
+			}
+			wantRows := rowsAsStrings(want)
+			sort.Strings(wantRows)
+			for _, backend := range allBackends() {
+				plan, err := algebra.Lower(node, "random")
+				if err != nil {
+					t.Fatalf("lower: %v", err)
+				}
+				lat := LatencyNone
+				res, err := Execute(plan, Options{
+					Backend: backend, Workers: 1 + r.Intn(3),
+					ChunkSize: 1 << (3 + r.Intn(6)), MorselSize: 1 << (6 + r.Intn(6)),
+					Latency: &lat,
+				})
+				if err != nil {
+					t.Fatalf("%v: %v", backend, err)
+				}
+				gotRows := rowsAsStrings(res.Chunk)
+				sort.Strings(gotRows)
+				if len(gotRows) != len(wantRows) {
+					t.Fatalf("%v: %d rows vs oracle %d", backend, len(gotRows), len(wantRows))
+				}
+				for i := range gotRows {
+					if gotRows[i] != wantRows[i] {
+						t.Fatalf("%v: row %d\n got  %s\n want %s", backend, i, gotRows[i], wantRows[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// randomTable builds a table with int64/float64/string/date columns.
+func randomTable(r *rand.Rand, name string, rows int) *storage.Table {
+	t := storage.NewTable(name, types.Schema{
+		{Name: name + "_k", Kind: types.Int64},
+		{Name: name + "_f", Kind: types.Float64},
+		{Name: name + "_s", Kind: types.String},
+		{Name: name + "_d", Kind: types.Date},
+	})
+	labels := []string{"alpha", "beta", "gamma", "delta", "PROMO X", "PROMO Y"}
+	t.SetRows(rows)
+	for i := 0; i < rows; i++ {
+		t.Col(name + "_k").I64[i] = int64(r.Intn(50))
+		// Halves keep float sums exact across summation orders.
+		t.Col(name + "_f").F64[i] = float64(r.Intn(100)) / 2
+		t.Col(name + "_s").Str[i] = labels[r.Intn(len(labels))]
+		t.Col(name + "_d").I32[i] = types.MkDate(1995, 1, 1) + int32(r.Intn(300))
+	}
+	return t
+}
+
+// randomPred builds a random boolean expression over table tbl's columns.
+func randomPred(r *rand.Rand, p string) algebra.Expr {
+	preds := []func() algebra.Expr{
+		func() algebra.Expr {
+			return algebra.Gt(algebra.Col(p+"_k"), algebra.I64(int64(r.Intn(40))))
+		},
+		func() algebra.Expr {
+			return algebra.Le(algebra.Col(p+"_f"), algebra.F64(float64(r.Intn(80))))
+		},
+		func() algebra.Expr {
+			return algebra.Eq(algebra.Col(p+"_s"), algebra.Str("beta"))
+		},
+		func() algebra.Expr {
+			return algebra.Like(algebra.Col(p+"_s"), "PROMO%")
+		},
+		func() algebra.Expr {
+			return algebra.In(algebra.Col(p+"_s"), "alpha", "gamma")
+		},
+		func() algebra.Expr {
+			lo := types.MkDate(1995, 1, 1) + int32(r.Intn(100))
+			return algebra.Ge(algebra.Col(p+"_d"), algebra.Const{K: types.Date, I32: lo})
+		},
+	}
+	e := preds[r.Intn(len(preds))]()
+	if r.Intn(2) == 0 {
+		f := preds[r.Intn(len(preds))]()
+		if r.Intn(2) == 0 {
+			return algebra.And(e, f)
+		}
+		return algebra.Or(e, f)
+	}
+	if r.Intn(4) == 0 {
+		return algebra.Not(e)
+	}
+	return e
+}
+
+func randomPlan(r *rand.Rand) algebra.Node {
+	probe := randomTable(r, "t", 200+r.Intn(2000))
+	var node algebra.Node = algebra.NewScan(probe, "t_k", "t_f", "t_s", "t_d")
+
+	// Optional filter(s) on the probe side.
+	for i := 0; i < r.Intn(3); i++ {
+		node = algebra.NewFilter(node, randomPred(r, "t"))
+	}
+
+	// Optional computed columns.
+	if r.Intn(2) == 0 {
+		node = algebra.NewMap(node,
+			algebra.NamedExpr{As: "m1", E: algebra.Mul(algebra.Col("t_f"),
+				algebra.Sub(algebra.F64(1), algebra.Col("t_f")))},
+			algebra.NamedExpr{As: "m2", E: algebra.Case(
+				algebra.Like(algebra.Col("t_s"), "PROMO%"),
+				algebra.Col("m1"), algebra.F64(0))},
+		)
+	} else {
+		node = algebra.NewMap(node,
+			algebra.NamedExpr{As: "m1", E: algebra.Add(algebra.Col("t_f"), algebra.F64(1))},
+			algebra.NamedExpr{As: "m2", E: algebra.Mul(algebra.Col("t_f"), algebra.F64(2))},
+		)
+	}
+
+	// Optional join against a dimension table.
+	mode := []ir.JoinMode{ir.InnerJoin, ir.SemiJoin, ir.LeftOuterJoin, ir.AntiJoin}[r.Intn(4)]
+	withJoin := r.Intn(3) > 0
+	matched := ""
+	if withJoin {
+		dim := randomTable(r, "d", 30+r.Intn(100))
+		var build algebra.Node = algebra.NewScan(dim, "d_k", "d_f", "d_s", "d_d")
+		if r.Intn(2) == 0 {
+			build = algebra.NewFilter(build, randomPred(r, "d"))
+		}
+		j := &algebra.HashJoin{
+			Build: build, Probe: node,
+			BuildKeys: []string{"d_k"}, ProbeKeys: []string{"t_k"},
+			Mode: mode,
+		}
+		if mode == ir.InnerJoin {
+			j.BuildCols = []string{"d_s", "d_f"}
+		}
+		if mode == ir.LeftOuterJoin {
+			j.MatchedAs = "matched"
+			matched = "matched"
+			if r.Intn(2) == 0 {
+				j.BuildCols = []string{"d_f"}
+			}
+		}
+		node = j
+	}
+
+	// Aggregate.
+	var keys []string
+	switch r.Intn(3) {
+	case 0: // keyless
+	case 1:
+		keys = []string{"t_s"}
+	default:
+		keys = []string{"t_k", "t_s"}
+	}
+	aggs := []algebra.AggSpec{
+		algebra.Sum("m1", "s1"),
+		algebra.Count("n"),
+	}
+	if r.Intn(2) == 0 {
+		aggs = append(aggs, algebra.MinOf("t_f", "lo"), algebra.MaxOf("t_f", "hi"))
+	}
+	if r.Intn(2) == 0 {
+		aggs = append(aggs, algebra.Avg("m2", "a2"))
+	}
+	if matched != "" {
+		aggs = append(aggs, algebra.CountIf(matched, "hits"))
+	}
+	return algebra.NewGroupBy(node, keys, aggs...)
+}

@@ -1,0 +1,333 @@
+package exec
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"inkfuse/internal/core"
+	"inkfuse/internal/interp"
+	"inkfuse/internal/storage"
+	"inkfuse/internal/types"
+	"inkfuse/internal/vm"
+)
+
+func newRunner(pipe *core.Pipeline, opts Options, reg *interp.Registry, bg *hybridCompile) (runner, error) {
+	switch opts.Backend {
+	case BackendVectorized:
+		return newVectorizedRunner(pipe, opts, reg)
+	case BackendCompiling:
+		return newCompilingRunner(pipe, opts)
+	case BackendROF:
+		return newROFRunner(pipe, opts)
+	case BackendHybrid:
+		return newHybridRunner(pipe, opts, reg, bg)
+	default:
+		return nil, fmt.Errorf("unknown backend %v", opts.Backend)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized backend
+
+type vectorizedRunner struct {
+	runs      []*interp.Run
+	source    []*core.IU
+	chunkSize int
+}
+
+func newVectorizedRunner(pipe *core.Pipeline, opts Options, reg *interp.Registry) (*vectorizedRunner, error) {
+	r := &vectorizedRunner{source: pipe.Source.SourceIUs(), chunkSize: opts.ChunkSize}
+	for w := 0; w < opts.Workers; w++ {
+		run, err := interp.NewRun(reg, r.source, pipe.Ops, pipe.Result)
+		if err != nil {
+			return nil, err
+		}
+		r.runs = append(r.runs, run)
+	}
+	return r, nil
+}
+
+func (r *vectorizedRunner) runMorsel(w int, ctx *vm.Ctx, src []*storage.Vector, n int, out *storage.Chunk) {
+	run := r.runs[w]
+	for lo := 0; lo < n; lo += r.chunkSize {
+		hi := min(lo+r.chunkSize, n)
+		sub := make([]*storage.Vector, len(src))
+		for i, v := range src {
+			sub[i] = v.Slice(lo, hi)
+		}
+		run.RunChunk(ctx, sub, hi-lo, out)
+	}
+}
+
+func (r *vectorizedRunner) finish() (time.Duration, time.Duration) { return 0, 0 }
+
+// ---------------------------------------------------------------------------
+// Compiling backend: fuse the whole pipeline, wait for the code.
+
+type compilingRunner struct {
+	art  *fusedStep
+	wait time.Duration
+}
+
+func newCompilingRunner(pipe *core.Pipeline, opts Options) (*compilingRunner, error) {
+	art, dur, err := compileStep("pipeline_"+pipe.Name, pipe.Source.SourceIUs(), pipe.Ops, pipe.Result, *opts.Latency)
+	if err != nil {
+		return nil, err
+	}
+	// The compiling backend cannot process tuples until compilation is done:
+	// the whole compile time is dead wait (the dashed bars of Fig 10).
+	return &compilingRunner{art: art, wait: dur}, nil
+}
+
+func (r *compilingRunner) runMorsel(w int, ctx *vm.Ctx, src []*storage.Vector, n int, out *storage.Chunk) {
+	r.art.prog.Run(ctx, r.art.states, src, n, out)
+	ctx.Counters.FusedCalls++
+	ctx.Counters.MorselsCompiled++
+}
+
+func (r *compilingRunner) finish() (time.Duration, time.Duration) { return r.wait, r.wait }
+
+// ---------------------------------------------------------------------------
+// ROF backend: split before every probe, prefetch the staged chunk.
+
+type rofRunner struct {
+	steps     []*fusedStep
+	bufs      [][]*storage.Chunk // [worker][step-1]: the staging buffers
+	chunkSize int
+	wait      time.Duration
+}
+
+func newROFRunner(pipe *core.Pipeline, opts Options) (*rofRunner, error) {
+	// Insert a prefetch suboperator before every probe and split there.
+	var ops []core.SubOp
+	for _, op := range pipe.Ops {
+		if probe, ok := op.(*core.JoinProbe); ok {
+			ops = append(ops, &core.Prefetch{Row: probe.Row, State: probe.State})
+		}
+		ops = append(ops, op)
+	}
+	// The staging point lies before the prefetch: the prefetch runs as the
+	// last operation of the staged step, touching the buckets for the whole
+	// chunk before the next step probes them.
+	steps := splitSteps(pipe.Source.SourceIUs(), ops, pipe.Result, func(i int, op core.SubOp) bool {
+		_, isPrefetch := op.(*core.Prefetch)
+		return isPrefetch
+	})
+	r := &rofRunner{chunkSize: opts.ChunkSize}
+	var wait time.Duration
+	for si, st := range steps {
+		art, dur, err := compileStep(fmt.Sprintf("rof_%s_s%d", pipe.Name, si), st.source, st.ops, st.emit, *opts.Latency)
+		if err != nil {
+			return nil, err
+		}
+		wait += dur
+		r.steps = append(r.steps, art)
+	}
+	r.wait = wait
+	r.bufs = make([][]*storage.Chunk, opts.Workers)
+	for w := range r.bufs {
+		for si := 0; si+1 < len(steps); si++ {
+			r.bufs[w] = append(r.bufs[w], storage.NewChunk(iuKinds(steps[si].emit)))
+		}
+	}
+	return r, nil
+}
+
+func (r *rofRunner) runMorsel(w int, ctx *vm.Ctx, src []*storage.Vector, n int, out *storage.Chunk) {
+	// Run the steps in lockstep over cache-friendly staged chunks.
+	for lo := 0; lo < n; lo += r.chunkSize {
+		hi := min(lo+r.chunkSize, n)
+		cur := make([]*storage.Vector, len(src))
+		for i, v := range src {
+			cur[i] = v.Slice(lo, hi)
+		}
+		cn := hi - lo
+		for si, st := range r.steps {
+			last := si == len(r.steps)-1
+			var dst *storage.Chunk
+			if last {
+				dst = out
+			} else {
+				dst = r.bufs[w][si]
+				dst.Reset()
+			}
+			st.prog.Run(ctx, st.states, cur, cn, dst)
+			ctx.Counters.FusedCalls++
+			if last {
+				break
+			}
+			cur = dst.Cols
+			cn = dst.Rows()
+		}
+	}
+	ctx.Counters.MorselsCompiled++
+}
+
+func (r *rofRunner) finish() (time.Duration, time.Duration) { return r.wait, r.wait }
+
+// iuKinds projects the kinds of a staging buffer's columns.
+func iuKinds(ius []*core.IU) []types.Kind {
+	out := make([]types.Kind, len(ius))
+	for i, iu := range ius {
+		out[i] = iu.K
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Hybrid backend (paper §V-B): start vectorized, compile in the background,
+// then route 90% of morsels to the backend with the best exponentially
+// decaying tuple throughput; 5% each keep exploring either backend.
+
+// hybridCompile is one pipeline's background compilation job. All jobs of a
+// query start when the query starts (paper §V-B: "InkFuse uses one thread
+// per pipeline for background compilation"), bounded by Options.CompileJobs.
+type hybridCompile struct {
+	art     atomic.Pointer[fusedStep]
+	cancel  chan struct{}
+	done    chan struct{}
+	compile time.Duration
+}
+
+// startHybridCompiles launches the background compilation jobs for every
+// pipeline of the plan. The returned handles are wired into the hybrid
+// runners pipeline by pipeline; cancelAll abandons whatever has not finished
+// when the query completes.
+func startHybridCompiles(pipes []*core.Pipeline, lat LatencyModel, jobs int) []*hybridCompile {
+	if jobs <= 0 {
+		jobs = len(pipes) // paper default: one compilation thread per pipeline
+	}
+	sem := make(chan struct{}, jobs)
+	out := make([]*hybridCompile, len(pipes))
+	for i, pipe := range pipes {
+		h := &hybridCompile{cancel: make(chan struct{}), done: make(chan struct{})}
+		out[i] = h
+		go func(pipe *core.Pipeline) {
+			defer close(h.done)
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-h.cancel:
+				return
+			}
+			start := time.Now()
+			fn, states, err := core.GenStep("pipeline_"+pipe.Name, pipe.Source.SourceIUs(), pipe.Ops, pipe.Result)
+			if err != nil {
+				return
+			}
+			prog, err := vm.Compile(fn)
+			if err != nil {
+				return
+			}
+			// Interruptible machine-code latency: one timer wake-up (repeated
+			// short sleeps starve under a busy single-P scheduler), abandoned
+			// if the query finishes first (paper §V-B).
+			if d := lat.Delay(fn); d > 0 {
+				timer := time.NewTimer(d)
+				defer timer.Stop()
+				select {
+				case <-timer.C:
+				case <-h.cancel:
+					return
+				}
+			}
+			h.compile = time.Since(start)
+			h.art.Store(&fusedStep{prog: prog, states: states, fn: fn})
+		}(pipe)
+	}
+	return out
+}
+
+// abandon cancels the job if it has not completed; safe to call once.
+func (h *hybridCompile) abandon() {
+	close(h.cancel)
+	<-h.done
+}
+
+type hybridRunner struct {
+	vec *vectorizedRunner
+
+	bg      *hybridCompile
+	workers []hybridWorker
+}
+
+type hybridWorker struct {
+	vecTput, jitTput float64
+	morsels          int
+}
+
+const hybridDecay = 0.3 // EWMA weight of the newest morsel
+
+// HybridExploreEvery is the exploration period of the hybrid backend: out of
+// every HybridExploreEvery morsels, one is forced onto the JIT code and one
+// onto the interpreter to keep the throughput statistics fresh; the paper
+// uses 20 (5% + 5% exploration, 90% exploitation, §V-B). Exposed as a
+// variable for the exploration-rate ablation.
+var HybridExploreEvery = 20
+
+func newHybridRunner(pipe *core.Pipeline, opts Options, reg *interp.Registry, bg *hybridCompile) (*hybridRunner, error) {
+	vec, err := newVectorizedRunner(pipe, opts, reg)
+	if err != nil {
+		return nil, err
+	}
+	return &hybridRunner{vec: vec, bg: bg, workers: make([]hybridWorker, opts.Workers)}, nil
+}
+
+func (h *hybridRunner) runMorsel(w int, ctx *vm.Ctx, src []*storage.Vector, n int, out *storage.Chunk) {
+	ws := &h.workers[w]
+	art := h.bg.art.Load()
+	useJIT := false
+	if art != nil {
+		switch {
+		case ws.jitTput == 0:
+			// Freshly ready code: measure it on the next morsel rather than
+			// waiting for the exploration slot to come around — on short
+			// queries the compiled code would otherwise never be sampled.
+			useJIT = true
+		case ws.morsels%HybridExploreEvery == 0:
+			useJIT = true
+		case ws.morsels%HybridExploreEvery == 1:
+			useJIT = false
+		default:
+			useJIT = ws.jitTput > ws.vecTput
+		}
+	}
+	ws.morsels++
+	start := time.Now()
+	if useJIT {
+		art.prog.Run(ctx, art.states, src, n, out)
+		ctx.Counters.FusedCalls++
+		ctx.Counters.MorselsCompiled++
+	} else {
+		h.vec.runMorsel(w, ctx, src, n, out)
+		ctx.Counters.MorselsVectorized++
+	}
+	el := time.Since(start).Seconds()
+	if el > 0 {
+		tput := float64(n) / el
+		if useJIT {
+			ws.jitTput = ewma(ws.jitTput, tput)
+		} else {
+			ws.vecTput = ewma(ws.vecTput, tput)
+		}
+	}
+}
+
+func ewma(old, sample float64) float64 {
+	if old == 0 {
+		return sample
+	}
+	return hybridDecay*sample + (1-hybridDecay)*old
+}
+
+func (h *hybridRunner) finish() (time.Duration, time.Duration) {
+	// Query-level cleanup in Execute abandons jobs that never finished; the
+	// compile duration is only published (happens-before the art store) once
+	// the code is ready. The hybrid backend hides compile latency behind
+	// interpretation: no dead wait is charged.
+	if h.bg.art.Load() != nil {
+		return h.bg.compile, 0
+	}
+	return 0, 0
+}

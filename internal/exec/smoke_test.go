@@ -1,0 +1,188 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"inkfuse/internal/algebra"
+	"inkfuse/internal/ir"
+	"inkfuse/internal/storage"
+	"inkfuse/internal/types"
+	"inkfuse/internal/volcano"
+)
+
+// makeTable builds a small deterministic test table.
+func makeTable() *storage.Table {
+	t := storage.NewTable("t", types.Schema{
+		{Name: "a", Kind: types.Int64},
+		{Name: "b", Kind: types.Float64},
+		{Name: "s", Kind: types.String},
+		{Name: "d", Kind: types.Date},
+	})
+	labels := []string{"red", "green", "blue"}
+	for i := 0; i < 5000; i++ {
+		t.AppendRow(int64(i%97), float64(i%13)+0.5, labels[i%3], types.MkDate(1995, 1, 1+i%28))
+	}
+	return t
+}
+
+// rowsAsStrings renders chunk rows for order-insensitive comparison.
+func rowsAsStrings(c *storage.Chunk) []string {
+	out := make([]string, c.Rows())
+	for i := range out {
+		out[i] = fmt.Sprintf("%.6v", c.Row(i))
+	}
+	return out
+}
+
+// checkAgainstVolcano runs the plan on every backend and compares with the
+// Volcano oracle.
+func checkAgainstVolcano(t *testing.T, node algebra.Node, name string) {
+	t.Helper()
+	want, err := volcano.Run(node)
+	if err != nil {
+		t.Fatalf("volcano: %v", err)
+	}
+	wantRows := rowsAsStrings(want)
+	sort.Strings(wantRows)
+
+	for _, backend := range []Backend{BackendVectorized, BackendCompiling, BackendROF, BackendHybrid} {
+		plan, err := algebra.Lower(node, name)
+		if err != nil {
+			t.Fatalf("lower: %v", err)
+		}
+		lat := LatencyNone
+		res, err := Execute(plan, Options{Backend: backend, Workers: 2, Latency: &lat})
+		if err != nil {
+			t.Fatalf("%v: execute: %v", backend, err)
+		}
+		gotRows := rowsAsStrings(res.Chunk)
+		sort.Strings(gotRows)
+		if len(gotRows) != len(wantRows) {
+			t.Fatalf("%v: got %d rows, want %d", backend, len(gotRows), len(wantRows))
+		}
+		for i := range gotRows {
+			if gotRows[i] != wantRows[i] {
+				t.Fatalf("%v: row %d:\n got  %s\n want %s", backend, i, gotRows[i], wantRows[i])
+			}
+		}
+	}
+}
+
+func TestSmokeScanFilterMap(t *testing.T) {
+	tbl := makeTable()
+	node := algebra.NewMap(
+		algebra.NewFilter(algebra.NewScan(tbl, "a", "b"), algebra.Gt(algebra.Col("a"), algebra.I64(50))),
+		algebra.NamedExpr{As: "c", E: algebra.Mul(algebra.Col("b"), algebra.F64(2))},
+	)
+	checkAgainstVolcano(t, algebra.NewProject(node, "a", "c"), "smoke1")
+}
+
+func TestSmokeGroupBy(t *testing.T) {
+	tbl := makeTable()
+	node := algebra.NewGroupBy(
+		algebra.NewScan(tbl, "s", "b", "a"),
+		[]string{"s"},
+		algebra.Sum("b", "sum_b"),
+		algebra.Count("n"),
+		algebra.Avg("b", "avg_b"),
+		algebra.MinOf("b", "min_b"),
+		algebra.MaxOf("b", "max_b"),
+	)
+	checkAgainstVolcano(t, node, "smoke2")
+}
+
+func TestSmokeStaticAgg(t *testing.T) {
+	tbl := makeTable()
+	node := algebra.NewGroupBy(
+		algebra.NewFilter(algebra.NewScan(tbl, "b", "d"),
+			algebra.Lt(algebra.Col("d"), algebra.DateLit("1995-01-15"))),
+		nil,
+		algebra.Sum("b", "rev"),
+	)
+	checkAgainstVolcano(t, node, "smoke3")
+}
+
+func TestSmokeJoin(t *testing.T) {
+	tbl := makeTable()
+	dim := storage.NewTable("dim", types.Schema{
+		{Name: "k", Kind: types.Int64},
+		{Name: "label", Kind: types.String},
+		{Name: "w", Kind: types.Float64},
+	})
+	for i := 0; i < 40; i++ {
+		dim.AppendRow(int64(i), fmt.Sprintf("lab%d", i%7), float64(i)*1.5)
+	}
+	join := &algebra.HashJoin{
+		Build:     algebra.NewScan(dim, "k", "label", "w"),
+		Probe:     algebra.NewScan(tbl, "a", "b"),
+		BuildKeys: []string{"k"},
+		ProbeKeys: []string{"a"},
+		BuildCols: []string{"label", "w"},
+		Mode:      ir.InnerJoin,
+	}
+	node := algebra.NewGroupBy(join, []string{"label"},
+		algebra.Sum("b", "sum_b"), algebra.Count("n"))
+	checkAgainstVolcano(t, node, "smoke4")
+}
+
+func TestSmokeSemiAndOuterJoin(t *testing.T) {
+	tbl := makeTable()
+	dim := storage.NewTable("dim2", types.Schema{
+		{Name: "k", Kind: types.Int64},
+	})
+	for i := 0; i < 30; i += 2 {
+		dim.AppendRow(int64(i))
+		dim.AppendRow(int64(i)) // duplicate keys on the build side
+	}
+	semi := &algebra.HashJoin{
+		Build:     algebra.NewScan(dim, "k"),
+		Probe:     algebra.NewScan(tbl, "a", "b"),
+		BuildKeys: []string{"k"},
+		ProbeKeys: []string{"a"},
+		Mode:      ir.SemiJoin,
+	}
+	checkAgainstVolcano(t, algebra.NewGroupBy(semi, nil, algebra.Sum("b", "s"), algebra.Count("n")), "semi")
+
+	outer := &algebra.HashJoin{
+		Build:     algebra.NewScan(dim, "k"),
+		Probe:     algebra.NewScan(tbl, "a"),
+		BuildKeys: []string{"k"},
+		ProbeKeys: []string{"a"},
+		Mode:      ir.LeftOuterJoin,
+		MatchedAs: "m",
+	}
+	node := algebra.NewGroupBy(outer, []string{"a"}, algebra.CountIf("m", "hits"))
+	checkAgainstVolcano(t, node, "outer")
+}
+
+func TestSmokeOrderBy(t *testing.T) {
+	tbl := makeTable()
+	g := algebra.NewGroupBy(algebra.NewScan(tbl, "s", "b"), []string{"s"}, algebra.Sum("b", "sum_b"))
+	ob := algebra.NewOrderBy(g, []string{"sum_b"}, []bool{true}, 2)
+
+	want, err := volcano.Run(ob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := algebra.Lower(ob, "orderby")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := LatencyNone
+	res, err := Execute(plan, Options{Backend: BackendVectorized, Latency: &lat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows() != want.Rows() {
+		t.Fatalf("rows: got %d want %d", res.Rows(), want.Rows())
+	}
+	for i := 0; i < want.Rows(); i++ {
+		g := fmt.Sprintf("%.6v", res.Chunk.Row(i))
+		w := fmt.Sprintf("%.6v", want.Row(i))
+		if g != w {
+			t.Fatalf("row %d: got %s want %s", i, g, w)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package exec
+
+import (
+	"sort"
+
+	"inkfuse/internal/core"
+	"inkfuse/internal/storage"
+	"inkfuse/internal/types"
+)
+
+// sortChunk orders (and optionally limits) the final result. All supported
+// plans sort the final, already-aggregated result set, so ordering is a
+// post-processing step on the result buffer.
+func sortChunk(c *storage.Chunk, spec *core.SortSpec) *storage.Chunk {
+	n := c.Rows()
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		for ki, col := range spec.Keys {
+			cmp := compareAt(c.Cols[col], int(ia), int(ib))
+			if cmp == 0 {
+				continue
+			}
+			if spec.Desc[ki] {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+		return false
+	})
+	if spec.Limit > 0 && spec.Limit < len(idx) {
+		idx = idx[:spec.Limit]
+	}
+	out := storage.NewChunk(c.Kinds())
+	out.SetRows(len(idx))
+	for i, col := range c.Cols {
+		col.Gather(out.Cols[i], idx)
+	}
+	return out
+}
+
+func compareAt(v *storage.Vector, a, b int) int {
+	switch v.Kind {
+	case types.Bool:
+		return boolCmp(v.B[a], v.B[b])
+	case types.Int32, types.Date:
+		return ordCmp(v.I32[a], v.I32[b])
+	case types.Int64:
+		return ordCmp(v.I64[a], v.I64[b])
+	case types.Float64:
+		return ordCmp(v.F64[a], v.F64[b])
+	case types.String:
+		return ordCmp(v.Str[a], v.Str[b])
+	default:
+		return 0
+	}
+}
+
+func ordCmp[T interface {
+	~int32 | ~int64 | ~float64 | ~string
+}](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func boolCmp(a, b bool) int {
+	switch {
+	case a == b:
+		return 0
+	case b:
+		return -1
+	default:
+		return 1
+	}
+}

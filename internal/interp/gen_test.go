@@ -1,0 +1,51 @@
+package interp
+
+import (
+	"os"
+	"testing"
+)
+
+// The generated-interpreter artifacts checked into the repository
+// (internal/interp/gen/interpreter.go, compiled as part of the build, and
+// artifacts/interpreter.c) must stay in sync with what the compilation
+// stack currently generates — the drift tests regenerate both and compare
+// byte-for-byte. Refresh them with:
+//
+//	go run ./cmd/primgen -lang go > internal/interp/gen/interpreter.go
+//	go run ./cmd/primgen          > artifacts/interpreter.c
+
+func TestGeneratedGoArtifactUpToDate(t *testing.T) {
+	reg, err := Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := reg.GenerateSource("go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile("gen/interpreter.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want {
+		t.Fatal("internal/interp/gen/interpreter.go is stale — regenerate with `go run ./cmd/primgen -lang go > internal/interp/gen/interpreter.go`")
+	}
+}
+
+func TestGeneratedCArtifactUpToDate(t *testing.T) {
+	reg, err := Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := reg.GenerateSource("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile("../../artifacts/interpreter.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want {
+		t.Fatal("artifacts/interpreter.c is stale — regenerate with `go run ./cmd/primgen > artifacts/interpreter.c`")
+	}
+}

@@ -1,0 +1,315 @@
+package ir
+
+import (
+	"encoding/binary"
+	"math"
+
+	"inkfuse/internal/types"
+)
+
+var (
+	posInf = math.Inf(1)
+	negInf = math.Inf(-1)
+)
+
+func putF64Raw(b []byte, v float64) { binary.LittleEndian.PutUint64(b, math.Float64bits(v)) }
+func putI32Raw(b []byte, v int32)   { binary.LittleEndian.PutUint32(b, uint32(v)) }
+
+// Expr is a side-effect-free typed expression.
+type Expr interface {
+	Kind() types.Kind
+	exprNode()
+}
+
+// VarRef reads a variable.
+type VarRef struct{ V Var }
+
+// Kind implements Expr.
+func (e VarRef) Kind() types.Kind { return e.V.K }
+func (VarRef) exprNode()          {}
+
+// Ref is shorthand for VarRef{v}.
+func Ref(v Var) VarRef { return VarRef{V: v} }
+
+// ConstRef reads a query constant from runtime state (paper Fig 5): the
+// generated code is constant-free so the primitive stays enumerable.
+type ConstRef struct {
+	StateID int
+	K       types.Kind
+}
+
+// Kind implements Expr.
+func (e ConstRef) Kind() types.Kind { return e.K }
+func (ConstRef) exprNode()          {}
+
+// BinExpr is arithmetic on two operands of the same numeric kind.
+type BinExpr struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// Kind implements Expr.
+func (e BinExpr) Kind() types.Kind { return e.L.Kind() }
+func (BinExpr) exprNode()          {}
+
+// CmpExpr compares two operands of the same kind; result is Bool.
+type CmpExpr struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// Kind implements Expr.
+func (CmpExpr) Kind() types.Kind { return types.Bool }
+func (CmpExpr) exprNode()        {}
+
+// LogicExpr is a boolean connective.
+type LogicExpr struct {
+	Op   LogicOp
+	L, R Expr
+}
+
+// Kind implements Expr.
+func (LogicExpr) Kind() types.Kind { return types.Bool }
+func (LogicExpr) exprNode()        {}
+
+// NotExpr is boolean negation.
+type NotExpr struct{ E Expr }
+
+// Kind implements Expr.
+func (NotExpr) Kind() types.Kind { return types.Bool }
+func (NotExpr) exprNode()        {}
+
+// CastExpr converts between numeric kinds.
+type CastExpr struct {
+	To types.Kind
+	E  Expr
+}
+
+// Kind implements Expr.
+func (e CastExpr) Kind() types.Kind { return e.To }
+func (CastExpr) exprNode()          {}
+
+// LikeExpr evaluates a LIKE pattern; the compiled matcher lives in runtime
+// state (rt.LikeState).
+type LikeExpr struct {
+	S       Expr
+	StateID int
+	Negate  bool
+}
+
+// Kind implements Expr.
+func (LikeExpr) Kind() types.Kind { return types.Bool }
+func (LikeExpr) exprNode()        {}
+
+// InListExpr tests string membership in a runtime-state set (rt.InListState).
+type InListExpr struct {
+	S       Expr
+	StateID int
+}
+
+// Kind implements Expr.
+func (InListExpr) Kind() types.Kind { return types.Bool }
+func (InListExpr) exprNode()        {}
+
+// StrLower normalizes a string to lowercase — the equivalence-class mapping
+// of case-insensitive collations (paper §IV-D: "every key is turned to
+// lowercase; the normalized representation is only used for key
+// comparison").
+type StrLower struct{ E Expr }
+
+// Kind implements Expr.
+func (StrLower) Kind() types.Kind { return types.String }
+func (StrLower) exprNode()        {}
+
+// CondExpr is a ternary (SQL CASE WHEN).
+type CondExpr struct {
+	Cond, Then, Else Expr
+}
+
+// Kind implements Expr.
+func (e CondExpr) Kind() types.Kind { return e.Then.Kind() }
+func (CondExpr) exprNode()          {}
+
+// UnpackFixed reads a fixed-width field from a packed row at a runtime-state
+// offset (rt.OffsetState).
+type UnpackFixed struct {
+	Row     Expr // Ptr
+	Region  Region
+	StateID int
+	K       types.Kind
+}
+
+// Kind implements Expr.
+func (e UnpackFixed) Kind() types.Kind { return e.K }
+func (UnpackFixed) exprNode()          {}
+
+// UnpackStr reads a variable-size field from a packed row; the slot position
+// is resolved through rt.VarSlotState.
+type UnpackStr struct {
+	Row     Expr // Ptr
+	Region  Region
+	StateID int
+}
+
+// Kind implements Expr.
+func (UnpackStr) Kind() types.Kind { return types.String }
+func (UnpackStr) exprNode()        {}
+
+// Stmt is one statement in a step body.
+type Stmt interface{ stmtNode() }
+
+// Assign evaluates E into a fresh variable.
+type Assign struct {
+	Dst Var
+	E   Expr
+}
+
+func (Assign) stmtNode() {}
+
+// Copy rebinds a variable into the current scope. In emitted C this is a
+// plain assignment (free: the value stays in a register); in the VM it is the
+// dense-compaction gather of the filter-copy suboperator (paper Fig 4).
+type Copy struct{ Dst, Src Var }
+
+func (Copy) stmtNode() {}
+
+// FilterStmt opens a filtered scope: Body executes only for rows where Cond
+// holds; Copies carry the surviving columns into the scope.
+type FilterStmt struct {
+	Cond   Var // Bool
+	Copies []Copy
+	Body   []Stmt
+}
+
+func (FilterStmt) stmtNode() {}
+
+// MakeRow allocates a reusable packed row per tuple (key + payload building,
+// paper §IV-D/E). State is an rt.RowLayoutState.
+type MakeRow struct {
+	Dst     Var // Ptr
+	StateID int
+}
+
+func (MakeRow) stmtNode() {}
+
+// PackFixed writes a fixed-width value into a packed row at a runtime-state
+// offset (rt.OffsetState). Produces Dst, the refreshed row handle.
+type PackFixed struct {
+	Dst     Var // Ptr
+	Row     Var // Ptr
+	Region  Region
+	StateID int
+	Val     Expr
+}
+
+func (PackFixed) stmtNode() {}
+
+// PackStr appends a variable-size value to a packed row region. State is the
+// rt.OffsetState of the owning layout (for scratch identity).
+type PackStr struct {
+	Dst     Var // Ptr
+	Row     Var // Ptr
+	Region  Region
+	StateID int
+	Val     Expr
+}
+
+func (PackStr) stmtNode() {}
+
+// SealKey finalizes the key blob of a packed row and reserves the payload
+// region. State is the rt.RowLayoutState.
+type SealKey struct {
+	Dst     Var // Ptr
+	Row     Var // Ptr
+	StateID int
+}
+
+func (SealKey) stmtNode() {}
+
+// AggLookup finds-or-creates the group row for a packed key. Collision
+// resolution happens inside the hash table (paper §IV-D); the returned
+// pointer addresses the correctly resolved group. State is rt.AggTableState.
+type AggLookup struct {
+	Dst     Var // Ptr: the group row
+	Row     Var // Ptr: packed key row
+	StateID int
+}
+
+func (AggLookup) stmtNode() {}
+
+// AggLookupFixed is the single-column key fast path (paper §IV-D: "if we
+// only aggregate by a single column, the engine performs no packing but just
+// uses the raw column directly"): the fixed-width key value is encoded
+// in-place, skipping the packed-row scratch entirely.
+type AggLookupFixed struct {
+	Dst     Var // Ptr: the group row
+	Key     Var // fixed-width key column
+	StateID int // rt.AggTableState
+}
+
+func (AggLookupFixed) stmtNode() {}
+
+// AggUpdate folds a value into an aggregate slot of a group row. The slot
+// offset is a runtime parameter (rt.OffsetState).
+type AggUpdate struct {
+	Group   Var // Ptr
+	Fn      AggFunc
+	StateID int
+	Val     Expr // absent (nil) for AggCount
+}
+
+func (AggUpdate) stmtNode() {}
+
+// JoinInsert inserts a packed row into a join hash table (build side).
+// State is rt.JoinTableState.
+type JoinInsert struct {
+	Row     Var // Ptr
+	StateID int
+}
+
+func (JoinInsert) stmtNode() {}
+
+// ProbeStmt probes a join hash table with the key of ProbeRow and opens a
+// scope per emitted row. Build is bound to the matching build row
+// (Inner/LeftOuter); Probe rebinds the probe row inside the scope; Matched
+// is bound for LeftOuterJoin. State is rt.JoinTableState.
+type ProbeStmt struct {
+	StateID  int
+	Mode     JoinMode
+	ProbeRow Var // Ptr, in the enclosing scope
+	Build    Var // Ptr; invalid for SemiJoin
+	Probe    Var // Ptr, scope-local rebind of ProbeRow
+	Matched  Var // Bool; valid only for LeftOuterJoin
+	Body     []Stmt
+}
+
+func (ProbeStmt) stmtNode() {}
+
+// Prefetch touches the hash-table bucket of a packed probe key without
+// resolving matches — the dedicated prefetching step of the ROF backend
+// (paper §VII): issued over a whole staged chunk it produces many
+// independent loads ahead of the tuple-at-a-time probe.
+type Prefetch struct {
+	Row     Var // Ptr: packed probe row
+	StateID int // rt.JoinTableState
+}
+
+func (Prefetch) stmtNode() {}
+
+// EmitStmt appends the listed variables as one output row (the tuple-buffer
+// sink / result sink).
+type EmitStmt struct {
+	Cols []Var
+}
+
+func (EmitStmt) stmtNode() {}
+
+// Func is the generated code for one step: a loop over the source rows
+// (bound to Ins) executing Body per row.
+type Func struct {
+	Name      string
+	Ins       []Var // scope-0 variables bound to the input vectors
+	Body      []Stmt
+	OutKinds  []types.Kind // kinds emitted by EmitStmt (nil for pure sinks)
+	NumStates int          // size of the runtime state array
+}

@@ -1,0 +1,144 @@
+package rt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sync"
+)
+
+// AggTable is the aggregation hash table. Keys are packed key blobs; the
+// payload holds the aggregate state slots. Collision resolution lives inside
+// the table (paper §IV-D): FindOrCreate returns a pointer to the correctly
+// resolved row, so generated code never loops over collision chains —
+// identical behaviour for the fused programs and the vectorized primitives.
+//
+// The table is sharded by hash for concurrent morsel-driven builds.
+type AggTable struct {
+	payloadInit []byte
+	shards      []aggShard
+	shardMask   uint64
+}
+
+type aggShard struct {
+	mu      sync.Mutex
+	buckets []int32 // entry index + 1; 0 = empty
+	mask    uint64
+	hashes  []uint64
+	rows    [][]byte
+	arena   *Arena
+	resizes int64
+}
+
+// NewAggTable creates a table whose new groups start with the given payload
+// template (e.g. +Inf for MIN slots, zeroes for SUM/COUNT).
+func NewAggTable(payloadInit []byte, shardCount int) *AggTable {
+	if shardCount <= 0 {
+		shardCount = 16
+	}
+	// Round up to a power of two for mask dispatch.
+	sc := 1
+	for sc < shardCount {
+		sc <<= 1
+	}
+	t := &AggTable{
+		payloadInit: append([]byte(nil), payloadInit...),
+		shards:      make([]aggShard, sc),
+		shardMask:   uint64(sc - 1),
+	}
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.buckets = make([]int32, 64)
+		s.mask = 63
+		s.arena = NewArena(0)
+	}
+	return t
+}
+
+// FindOrCreate returns the packed row for the key, creating and initializing
+// it if absent. Safe for concurrent use.
+func (t *AggTable) FindOrCreate(key []byte, h uint64) []byte {
+	return t.FindOrCreateSeed(key, h, nil)
+}
+
+// FindOrCreateSeed is FindOrCreate with per-group creation extras: a new
+// group's payload is the table's init template followed by seed. The
+// collation support of paper §IV-D uses this to keep the original
+// (non-normalized) key string in the group payload while the key blob holds
+// the equivalence-class representative.
+func (t *AggTable) FindOrCreateSeed(key []byte, h uint64, seed []byte) []byte {
+	s := &t.shards[(h>>56)&t.shardMask]
+	s.mu.Lock()
+	row := s.findOrCreate(key, h, t.payloadInit, seed)
+	s.mu.Unlock()
+	return row
+}
+
+func (s *aggShard) findOrCreate(key []byte, h uint64, init, seed []byte) []byte {
+	for i := h & s.mask; ; i = (i + 1) & s.mask {
+		b := s.buckets[i]
+		if b == 0 {
+			row := s.arena.Alloc(4 + len(key) + len(init) + len(seed))
+			binary.LittleEndian.PutUint32(row, uint32(len(key)))
+			copy(row[4:], key)
+			copy(row[4+len(key):], init)
+			copy(row[4+len(key)+len(init):], seed)
+			s.hashes = append(s.hashes, h)
+			s.rows = append(s.rows, row)
+			s.buckets[i] = int32(len(s.rows)) // index+1
+			if uint64(len(s.rows))*4 > 3*(s.mask+1) {
+				s.grow()
+			}
+			return row
+		}
+		e := b - 1
+		if s.hashes[e] == h && bytes.Equal(RowKey(s.rows[e]), key) {
+			return s.rows[e]
+		}
+	}
+}
+
+func (s *aggShard) grow() {
+	s.resizes++
+	nb := make([]int32, 2*len(s.buckets))
+	mask := uint64(len(nb) - 1)
+	for e, h := range s.hashes {
+		i := h & mask
+		for nb[i] != 0 {
+			i = (i + 1) & mask
+		}
+		nb[i] = int32(e + 1)
+	}
+	s.buckets = nb
+	s.mask = mask
+}
+
+// Groups returns the number of groups in the table.
+func (t *AggTable) Groups() int {
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		n += len(s.rows)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Resizes returns the total number of bucket-array resizes (stats).
+func (t *AggTable) Resizes() int64 {
+	var n int64
+	for i := range t.shards {
+		n += t.shards[i].resizes
+	}
+	return n
+}
+
+// Snapshot returns all group rows. Called once the build pipeline finished;
+// the result backs the morsels of the aggregate-reading pipeline.
+func (t *AggTable) Snapshot() [][]byte {
+	out := make([][]byte, 0, t.Groups())
+	for i := range t.shards {
+		out = append(out, t.shards[i].rows...)
+	}
+	return out
+}

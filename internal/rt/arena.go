@@ -1,0 +1,39 @@
+package rt
+
+// Arena is a bump allocator handing out byte slices from large blocks. Hash
+// tables use it so that millions of packed rows cost a handful of real
+// allocations. Arenas are not safe for concurrent use; each hash-table shard
+// owns one.
+type Arena struct {
+	block     []byte
+	blockSize int
+	used      int64
+}
+
+const defaultArenaBlock = 1 << 16
+
+// NewArena creates an arena with the given block size (0 = default 64 KiB).
+func NewArena(blockSize int) *Arena {
+	if blockSize <= 0 {
+		blockSize = defaultArenaBlock
+	}
+	return &Arena{blockSize: blockSize}
+}
+
+// Alloc returns a zeroed slice of n bytes. Requests larger than the block
+// size get their own block.
+func (a *Arena) Alloc(n int) []byte {
+	a.used += int64(n)
+	if n > a.blockSize {
+		return make([]byte, n)
+	}
+	if len(a.block) < n {
+		a.block = make([]byte, a.blockSize)
+	}
+	out := a.block[:n:n]
+	a.block = a.block[n:]
+	return out
+}
+
+// Used returns the total bytes handed out.
+func (a *Arena) Used() int64 { return a.used }

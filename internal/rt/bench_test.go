@@ -1,0 +1,126 @@
+package rt
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// Micro-benchmarks of the runtime system the generated code leans on.
+
+func BenchmarkHash64(b *testing.B) {
+	for _, size := range []int{8, 16, 32} {
+		b.Run(kBytes(size), func(b *testing.B) {
+			key := make([]byte, size)
+			var acc uint64
+			for i := 0; i < b.N; i++ {
+				binary.LittleEndian.PutUint64(key, uint64(i))
+				acc ^= Hash64(key)
+			}
+			sinkU64 = acc
+		})
+	}
+}
+
+var sinkU64 uint64
+
+func kBytes(n int) string {
+	return map[int]string{8: "8B", 16: "16B", 32: "32B"}[n]
+}
+
+func BenchmarkAggTableFindOrCreate(b *testing.B) {
+	for _, groups := range []int{16, 1 << 10, 1 << 16} {
+		b.Run(map[int]string{16: "16groups", 1 << 10: "1Kgroups", 1 << 16: "64Kgroups"}[groups], func(b *testing.B) {
+			tbl := NewAggTable(make([]byte, 8), 16)
+			key := make([]byte, 8)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				binary.LittleEndian.PutUint64(key, uint64(i%groups))
+				row := tbl.FindOrCreate(key, Hash64(key))
+				off := RowPayloadOff(row)
+				PutI64(row, off, GetI64(row, off)+1)
+			}
+		})
+	}
+}
+
+// BenchmarkAggTableVsMap compares against the naive Go-map aggregation an
+// engine without packed rows would use.
+func BenchmarkAggTableVsMap(b *testing.B) {
+	const groups = 1 << 12
+	b.Run("aggtable", func(b *testing.B) {
+		tbl := NewAggTable(make([]byte, 8), 16)
+		key := make([]byte, 8)
+		for i := 0; i < b.N; i++ {
+			binary.LittleEndian.PutUint64(key, uint64(i%groups))
+			row := tbl.FindOrCreate(key, Hash64(key))
+			off := RowPayloadOff(row)
+			PutF64(row, off, GetF64(row, off)+1.5)
+		}
+	})
+	b.Run("gomap", func(b *testing.B) {
+		m := make(map[int64]float64, groups)
+		for i := 0; i < b.N; i++ {
+			m[int64(i%groups)] += 1.5
+		}
+	})
+}
+
+func BenchmarkJoinProbe(b *testing.B) {
+	for _, dup := range []int{1, 4} {
+		b.Run(map[int]string{1: "unique", 4: "dup4"}[dup], func(b *testing.B) {
+			tbl := NewJoinTable(16)
+			key := make([]byte, 8)
+			const keys = 1 << 12
+			for k := 0; k < keys; k++ {
+				binary.LittleEndian.PutUint64(key, uint64(k))
+				for d := 0; d < dup; d++ {
+					tbl.Insert(key, nil, Hash64(key))
+				}
+			}
+			tbl.Seal()
+			b.ResetTimer()
+			matches := 0
+			for i := 0; i < b.N; i++ {
+				binary.LittleEndian.PutUint64(key, uint64(i%(2*keys))) // 50% misses
+				it := tbl.Lookup(key, Hash64(key))
+				for it.Next() != nil {
+					matches++
+				}
+			}
+			sinkInt = matches
+		})
+	}
+}
+
+var sinkInt int
+
+func BenchmarkLikeMatcher(b *testing.B) {
+	m := NewLikeMatcher("%special%requests%")
+	subjects := []string{
+		"carefully final deposits sleep",
+		"the special deposit requests sleep furiously",
+		"requests special ironic theodolites",
+	}
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		if m.Match(subjects[i%3]) {
+			hits++
+		}
+	}
+	sinkInt = hits
+}
+
+func BenchmarkRowScratchPack(b *testing.B) {
+	s := NewRowScratch(12, 8)
+	const batch = 1024
+	for i := 0; i < b.N; i++ {
+		s.Prepare(batch)
+		for r := 0; r < batch; r++ {
+			PutI64(s.Row(r), 4, int64(r))
+			PutI32(s.Row(r), 12, int32(r))
+			s.SealKey(r)
+			PutF64(s.Row(r), s.PayloadOff(r), float64(r))
+		}
+	}
+	b.SetBytes(batch * 24)
+}

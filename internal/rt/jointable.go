@@ -1,0 +1,136 @@
+package rt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sync"
+)
+
+// JoinTable is the join hash table. Unlike AggTable it stores duplicate keys
+// (paper §IV-E). The build phase appends packed rows under shard locks; Seal
+// freezes the table into lock-free chained buckets for probing.
+type JoinTable struct {
+	shards    []joinShard
+	shardMask uint64
+	sealed    bool
+}
+
+type joinShard struct {
+	mu      sync.Mutex
+	rows    [][]byte
+	hashes  []uint64
+	arena   *Arena
+	buckets []int32 // entry index + 1; 0 = empty
+	next    []int32 // chain: entry index + 1; 0 = end
+	mask    uint64
+}
+
+// NewJoinTable creates an empty join table.
+func NewJoinTable(shardCount int) *JoinTable {
+	if shardCount <= 0 {
+		shardCount = 16
+	}
+	sc := 1
+	for sc < shardCount {
+		sc <<= 1
+	}
+	t := &JoinTable{shards: make([]joinShard, sc), shardMask: uint64(sc - 1)}
+	for i := range t.shards {
+		t.shards[i].arena = NewArena(0)
+	}
+	return t
+}
+
+// Insert adds a packed row (key blob + payload blob) to the table. Safe for
+// concurrent use during the build pipeline.
+func (t *JoinTable) Insert(key, payload []byte, h uint64) {
+	s := &t.shards[(h>>56)&t.shardMask]
+	s.mu.Lock()
+	row := s.arena.Alloc(4 + len(key) + len(payload))
+	binary.LittleEndian.PutUint32(row, uint32(len(key)))
+	copy(row[4:], key)
+	copy(row[4+len(key):], payload)
+	s.rows = append(s.rows, row)
+	s.hashes = append(s.hashes, h)
+	s.mu.Unlock()
+}
+
+// Seal builds the probe-side bucket arrays. Must be called after the build
+// pipeline completes and before any Lookup.
+func (t *JoinTable) Seal() {
+	for i := range t.shards {
+		s := &t.shards[i]
+		n := len(s.rows)
+		cap := uint64(16)
+		for cap < uint64(2*n) {
+			cap <<= 1
+		}
+		s.buckets = make([]int32, cap)
+		s.next = make([]int32, n)
+		s.mask = cap - 1
+		for e := 0; e < n; e++ {
+			i := s.hashes[e] & s.mask
+			s.next[e] = s.buckets[i]
+			s.buckets[i] = int32(e + 1)
+		}
+	}
+	t.sealed = true
+}
+
+// Rows returns the number of build rows.
+func (t *JoinTable) Rows() int {
+	n := 0
+	for i := range t.shards {
+		n += len(t.shards[i].rows)
+	}
+	return n
+}
+
+// MatchIter iterates over the build rows matching one probe key. The zero
+// value is exhausted. It is a value type so probing allocates nothing.
+type MatchIter struct {
+	shard *joinShard
+	at    int32 // entry index + 1; 0 = end
+	hash  uint64
+	key   []byte
+}
+
+// Lookup starts a match iteration for a probe key. The table must be sealed.
+func (t *JoinTable) Lookup(key []byte, h uint64) MatchIter {
+	s := &t.shards[(h>>56)&t.shardMask]
+	return MatchIter{shard: s, at: s.buckets[h&s.mask], hash: h, key: key}
+}
+
+// Next returns the next matching build row, or nil when exhausted.
+func (it *MatchIter) Next() []byte {
+	for it.at != 0 {
+		e := it.at - 1
+		it.at = it.shard.next[e]
+		if it.shard.hashes[e] == it.hash && bytes.Equal(RowKey(it.shard.rows[e]), it.key) {
+			return it.shard.rows[e]
+		}
+	}
+	return nil
+}
+
+// Touch reads the bucket head and first chained row header for a key without
+// resolving matches. The ROF backend issues Touch over a staged chunk before
+// probing, pulling the relevant cache lines in with many independent loads
+// (the prefetch staging point of Relaxed Operator Fusion).
+func (t *JoinTable) Touch(key []byte, h uint64) byte {
+	s := &t.shards[(h>>56)&t.shardMask]
+	b := s.buckets[h&s.mask]
+	if b != 0 {
+		e := b - 1
+		// Touch the chain entry and the first bytes of the row; returning the
+		// byte keeps the loads alive.
+		return s.rows[e][0] ^ byte(s.hashes[e])
+	}
+	return 0
+}
+
+// Exists reports whether any build row matches the key (semi joins).
+func (t *JoinTable) Exists(key []byte, h uint64) bool {
+	it := t.Lookup(key, h)
+	return it.Next() != nil
+}

@@ -1,0 +1,105 @@
+package rt
+
+import "strings"
+
+// LikeMatcher evaluates SQL LIKE patterns with `%` (any run) and `_` (any
+// single byte). Patterns are compiled once at plan time and resolved by the
+// generated code through runtime state, like every other non-enumerable
+// parameter (paper §IV-C).
+type LikeMatcher struct {
+	pattern  string
+	segments []string // literal segments between % wildcards
+	anchorL  bool     // no leading %
+	anchorR  bool     // no trailing %
+	hasUnder bool
+}
+
+// NewLikeMatcher compiles a LIKE pattern.
+func NewLikeMatcher(pattern string) *LikeMatcher {
+	m := &LikeMatcher{pattern: pattern}
+	m.anchorL = !strings.HasPrefix(pattern, "%")
+	m.anchorR = !strings.HasSuffix(pattern, "%")
+	for _, seg := range strings.Split(pattern, "%") {
+		if seg != "" {
+			m.segments = append(m.segments, seg)
+		}
+	}
+	m.hasUnder = strings.ContainsRune(pattern, '_')
+	return m
+}
+
+// Pattern returns the original pattern.
+func (m *LikeMatcher) Pattern() string { return m.pattern }
+
+// Match reports whether s matches the pattern.
+func (m *LikeMatcher) Match(s string) bool {
+	segs := m.segments
+	if len(segs) == 0 {
+		// Pattern was only % wildcards (or empty).
+		if m.anchorL && m.anchorR {
+			return s == ""
+		}
+		return true
+	}
+	if m.anchorL {
+		seg := segs[0]
+		if !m.matchAt(s, 0, seg) {
+			return false
+		}
+		s = s[len(seg):]
+		segs = segs[1:]
+	}
+	var tail string
+	if m.anchorR && len(segs) > 0 {
+		tail = segs[len(segs)-1]
+		segs = segs[:len(segs)-1]
+	}
+	for _, seg := range segs {
+		idx := m.index(s, seg)
+		if idx < 0 {
+			return false
+		}
+		s = s[idx+len(seg):]
+	}
+	if m.anchorR {
+		if tail == "" {
+			// Fully anchored pattern (no %): the single left-anchored segment
+			// must have consumed the entire string.
+			return s == ""
+		}
+		if len(s) < len(tail) {
+			return false
+		}
+		return m.matchAt(s, len(s)-len(tail), tail)
+	}
+	return true
+}
+
+// matchAt reports whether seg matches s starting at position pos, honoring _.
+func (m *LikeMatcher) matchAt(s string, pos int, seg string) bool {
+	if pos+len(seg) > len(s) {
+		return false
+	}
+	if !m.hasUnder {
+		return s[pos:pos+len(seg)] == seg
+	}
+	for i := 0; i < len(seg); i++ {
+		if seg[i] != '_' && seg[i] != s[pos+i] {
+			return false
+		}
+	}
+	return true
+}
+
+// index finds the first position where seg matches inside s, or -1.
+func (m *LikeMatcher) index(s, seg string) int {
+	if !m.hasUnder {
+		return strings.Index(s, seg)
+	}
+	for pos := 0; pos+len(seg) <= len(s); pos++ {
+		if m.matchAt(s, pos, seg) {
+			return pos
+		}
+	}
+	return -1
+}

@@ -1,0 +1,71 @@
+package rt
+
+import "encoding/binary"
+
+// RowScratch builds packed rows (key + payload) for a batch of tuples before
+// they are handed to a hash table or a probe. Buffers are reused across
+// batches, so packing costs no steady-state allocation. A RowScratch is
+// owned by one worker's execution context: the suboperator state only carries
+// the layout widths, keeping the shared state immutable (paper Fig 8).
+type RowScratch struct {
+	keyFixed     int
+	payloadFixed int
+	rows         [][]byte
+}
+
+// NewRowScratch creates scratch space for rows with the given fixed-region
+// widths.
+func NewRowScratch(keyFixed, payloadFixed int) *RowScratch {
+	return &RowScratch{keyFixed: keyFixed, payloadFixed: payloadFixed}
+}
+
+// Prepare readies n reusable rows. Each row starts as
+// [u32 keyLen=keyFixed][keyFixed zero bytes]; key strings are appended, then
+// SealKey freezes the key length and reserves the fixed payload region.
+func (s *RowScratch) Prepare(n int) {
+	for len(s.rows) < n {
+		s.rows = append(s.rows, nil)
+	}
+	for i := 0; i < n; i++ {
+		r := s.rows[i][:0]
+		need := 4 + s.keyFixed
+		if cap(r) < need {
+			r = make([]byte, 0, need+s.payloadFixed+16)
+		}
+		r = r[:need]
+		for j := range r {
+			r[j] = 0
+		}
+		binary.LittleEndian.PutUint32(r, uint32(s.keyFixed))
+		s.rows[i] = r
+	}
+}
+
+// Row returns row i. Valid until the next Prepare.
+func (s *RowScratch) Row(i int) []byte { return s.rows[i] }
+
+// PackKeyFixed writes nothing itself; fixed key fields are written in place
+// via the Put* helpers at offset 4+off on Row(i).
+
+// AppendKeyString appends a length-prefixed string key field to row i.
+func (s *RowScratch) AppendKeyString(i int, v string) {
+	s.rows[i] = AppendString(s.rows[i], v)
+}
+
+// SealKey finalizes row i's key length and reserves the fixed payload region.
+func (s *RowScratch) SealKey(i int) {
+	r := s.rows[i]
+	binary.LittleEndian.PutUint32(r, uint32(len(r)-4))
+	for j := 0; j < s.payloadFixed; j++ {
+		r = append(r, 0)
+	}
+	s.rows[i] = r
+}
+
+// PayloadOff returns the offset of the fixed payload region of row i.
+func (s *RowScratch) PayloadOff(i int) int { return RowPayloadOff(s.rows[i]) }
+
+// AppendPayloadString appends a length-prefixed payload string to row i.
+func (s *RowScratch) AppendPayloadString(i int, v string) {
+	s.rows[i] = AppendString(s.rows[i], v)
+}

@@ -1,0 +1,83 @@
+package rt
+
+import (
+	"testing"
+
+	"inkfuse/internal/types"
+)
+
+func TestConstStateBuilders(t *testing.T) {
+	if c := ConstBool(true); c.Kind != types.Bool || !c.B {
+		t.Fatal("bool const")
+	}
+	if c := ConstI32(types.Date, 42); c.Kind != types.Date || c.I32 != 42 {
+		t.Fatal("date const")
+	}
+	if c := ConstI64(-7); c.Kind != types.Int64 || c.I64 != -7 {
+		t.Fatal("i64 const")
+	}
+	if c := ConstF64(1.5); c.Kind != types.Float64 || c.F64 != 1.5 {
+		t.Fatal("f64 const")
+	}
+	if c := ConstStr("x"); c.Kind != types.String || c.Str != "x" {
+		t.Fatal("str const")
+	}
+}
+
+func TestAggTableStateInstance(t *testing.T) {
+	st := &AggTableState{Init: []byte{1, 2, 3}, Shards: 4}
+	a := st.NewInstance()
+	b := st.NewInstance()
+	if a == b {
+		t.Fatal("instances must be distinct")
+	}
+	row := a.FindOrCreate([]byte("k"), Hash64([]byte("k")))
+	p := row[RowPayloadOff(row):]
+	if p[0] != 1 || p[1] != 2 || p[2] != 3 {
+		t.Fatal("payload init template not applied")
+	}
+}
+
+func TestMergeAllOps(t *testing.T) {
+	// One slot per merge op, exercised through MergeInto. As in the engine,
+	// the init template carries the extremum sentinels.
+	init := make([]byte, 6*8)
+	PutF64(init, 16, 1e308)  // min f64
+	PutF64(init, 24, -1e308) // max f64
+	PutI32(init, 32, 1<<31-1)
+	PutI32(init, 40, -(1 << 31))
+	st := &AggTableState{Init: init, Shards: 1, Merge: []AggMerge{
+		{Op: MergeSumI64, Off: 0},
+		{Op: MergeSumF64, Off: 8},
+		{Op: MergeMinF64, Off: 16},
+		{Op: MergeMaxF64, Off: 24},
+		{Op: MergeMinI32, Off: 32},
+		{Op: MergeMaxI32, Off: 40},
+	}}
+	mk := func(i64 int64, f64, mnF, mxF float64, mnI, mxI int32) *AggTable {
+		tbl := st.NewInstance()
+		row := tbl.FindOrCreate([]byte("g"), Hash64([]byte("g")))
+		off := RowPayloadOff(row)
+		PutI64(row, off, i64)
+		PutF64(row, off+8, f64)
+		PutF64(row, off+16, mnF)
+		PutF64(row, off+24, mxF)
+		PutI32(row, off+32, mnI)
+		PutI32(row, off+40, mxI)
+		return tbl
+	}
+	g := st.NewInstance()
+	st.MergeInto(g, mk(3, 1.5, 5, 5, 5, 5))
+	st.MergeInto(g, mk(4, 2.5, 2, 9, 2, 9))
+	row := g.FindOrCreate([]byte("g"), Hash64([]byte("g")))
+	off := RowPayloadOff(row)
+	if GetI64(row, off) != 7 || GetF64(row, off+8) != 4.0 {
+		t.Fatal("sum merges wrong")
+	}
+	if GetF64(row, off+16) != 2 || GetF64(row, off+24) != 9 {
+		t.Fatal("f64 extrema merges wrong")
+	}
+	if GetI32(row, off+32) != 2 || GetI32(row, off+40) != 9 {
+		t.Fatal("i32 extrema merges wrong")
+	}
+}

@@ -1,0 +1,68 @@
+// Package stats collects engine-internal execution counters. They stand in
+// for the hardware performance counters of the paper's Table I (see
+// DESIGN.md §2): VM value operations approximate retired instructions, and
+// materialized buffer traffic plus hash-table probe volume approximate the
+// memory-system behaviour the paper attributes LLC-miss differences to.
+package stats
+
+import (
+	"fmt"
+	"time"
+)
+
+// Counters accumulates per-worker execution statistics. Workers own private
+// instances (no atomics on hot paths) that are merged after the query.
+type Counters struct {
+	// Tuples is the number of tuples entering pipelines (source rows).
+	Tuples int64
+	// VMOps counts value-level operations executed by compiled programs and
+	// primitives (one per row per operator) — the instruction proxy.
+	VMOps int64
+	// MaterializedBytes counts bytes written into tuple buffers between
+	// steps — the vectorized interpreter's extra memory traffic.
+	MaterializedBytes int64
+	// PrimitiveCalls counts vectorized-primitive invocations.
+	PrimitiveCalls int64
+	// FusedCalls counts fused-program invocations (one per morsel).
+	FusedCalls int64
+	// HTProbes / HTMatches count hash-table lookups and produced matches.
+	HTProbes  int64
+	HTMatches int64
+	// HTInserts counts hash-table inserts (join build + new agg groups).
+	HTInserts int64
+	// EmittedRows counts rows emitted by sinks.
+	EmittedRows int64
+	// MorselsVectorized / MorselsCompiled count the hybrid backend's routing.
+	MorselsVectorized int64
+	MorselsCompiled   int64
+	// CompileWait is the wall-clock time the query spent with no compiled
+	// code available while a backend wanted it (the dashed bars of Fig 10).
+	CompileWait time.Duration
+	// CompileTime is the total time spent compiling (background or not).
+	CompileTime time.Duration
+}
+
+// Add merges o into c.
+func (c *Counters) Add(o *Counters) {
+	c.Tuples += o.Tuples
+	c.VMOps += o.VMOps
+	c.MaterializedBytes += o.MaterializedBytes
+	c.PrimitiveCalls += o.PrimitiveCalls
+	c.FusedCalls += o.FusedCalls
+	c.HTProbes += o.HTProbes
+	c.HTMatches += o.HTMatches
+	c.HTInserts += o.HTInserts
+	c.EmittedRows += o.EmittedRows
+	c.MorselsVectorized += o.MorselsVectorized
+	c.MorselsCompiled += o.MorselsCompiled
+	c.CompileWait += o.CompileWait
+	c.CompileTime += o.CompileTime
+}
+
+// PerTuple formats a counter normalized by processed tuples.
+func (c *Counters) PerTuple(v int64) string {
+	if c.Tuples == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2f", float64(v)/float64(c.Tuples))
+}

@@ -1,0 +1,35 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAddMergesAllFields(t *testing.T) {
+	a := Counters{
+		Tuples: 1, VMOps: 2, MaterializedBytes: 3, PrimitiveCalls: 4,
+		FusedCalls: 5, HTProbes: 6, HTMatches: 7, HTInserts: 8,
+		EmittedRows: 9, MorselsVectorized: 10, MorselsCompiled: 11,
+		CompileWait: time.Second, CompileTime: 2 * time.Second,
+	}
+	b := a
+	a.Add(&b)
+	if a.Tuples != 2 || a.VMOps != 4 || a.MaterializedBytes != 6 ||
+		a.PrimitiveCalls != 8 || a.FusedCalls != 10 || a.HTProbes != 12 ||
+		a.HTMatches != 14 || a.HTInserts != 16 || a.EmittedRows != 18 ||
+		a.MorselsVectorized != 20 || a.MorselsCompiled != 22 ||
+		a.CompileWait != 2*time.Second || a.CompileTime != 4*time.Second {
+		t.Fatalf("merge wrong: %+v", a)
+	}
+}
+
+func TestPerTuple(t *testing.T) {
+	c := Counters{Tuples: 4, VMOps: 10}
+	if c.PerTuple(c.VMOps) != "2.50" {
+		t.Fatalf("per tuple = %s", c.PerTuple(c.VMOps))
+	}
+	var zero Counters
+	if zero.PerTuple(1) != "n/a" {
+		t.Fatal("zero tuples should report n/a")
+	}
+}

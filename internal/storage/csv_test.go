@@ -1,0 +1,65 @@
+package storage
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"inkfuse/internal/types"
+)
+
+func TestCSVRoundtrip(t *testing.T) {
+	schema := types.Schema{
+		{Name: "k", Kind: types.Int64},
+		{Name: "f", Kind: types.Float64},
+		{Name: "s", Kind: types.String},
+		{Name: "d", Kind: types.Date},
+		{Name: "b", Kind: types.Bool},
+		{Name: "i", Kind: types.Int32},
+	}
+	src := NewTable("t", schema)
+	src.AppendRow(int64(-7), 3.25, "hello, with comma", types.MkDate(1994, 6, 1), true, int32(42))
+	src.AppendRow(int64(0), -0.5, `quoted "str"`, types.MkDate(1992, 1, 1), false, int32(-1))
+
+	var buf bytes.Buffer
+	if err := WriteCSV(src, &buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("t2", schema, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows() != 2 {
+		t.Fatalf("rows = %d", got.Rows())
+	}
+	for r := 0; r < 2; r++ {
+		for c := range schema {
+			if src.Cols[c].Value(r) != got.Cols[c].Value(r) {
+				t.Fatalf("row %d col %s: %v vs %v", r, schema[c].Name, src.Cols[c].Value(r), got.Cols[c].Value(r))
+			}
+		}
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	schema := types.Schema{{Name: "k", Kind: types.Int64}}
+	if _, err := ReadCSV("t", schema, strings.NewReader("wrong\n1\n")); err == nil {
+		t.Fatal("header mismatch accepted")
+	}
+	if _, err := ReadCSV("t", schema, strings.NewReader("k\nnot-a-number\n")); err == nil {
+		t.Fatal("bad value accepted")
+	}
+	if _, err := ReadCSV("t", schema, strings.NewReader("k,extra\n")); err == nil {
+		t.Fatal("column count mismatch accepted")
+	}
+	// Empty body is fine.
+	tbl, err := ReadCSV("t", schema, strings.NewReader("k\n"))
+	if err != nil || tbl.Rows() != 0 {
+		t.Fatalf("empty csv: %v rows=%d", err, tbl.Rows())
+	}
+	// Bad date.
+	ds := types.Schema{{Name: "d", Kind: types.Date}}
+	if _, err := ReadCSV("t", ds, strings.NewReader("d\n1994-13-99\n")); err == nil {
+		t.Fatal("bad date accepted")
+	}
+}

@@ -1,0 +1,226 @@
+// Package storage provides the columnar building blocks shared by the whole
+// engine: typed vectors, chunks (the tuple buffers of the paper), base
+// tables, and morsel ranges for morsel-driven parallelism.
+package storage
+
+import (
+	"fmt"
+
+	"inkfuse/internal/types"
+)
+
+// Vector is a dense, typed column of values. Exactly one of the typed slices
+// is in use, selected by Kind. Vectors back both base-table columns and the
+// tuple buffers / batch registers that tuples flow through during execution.
+//
+// The engine follows the dense-chunk model (paper §IV-B): vectors never carry
+// selection bitmaps; filters compact instead.
+type Vector struct {
+	Kind types.Kind
+
+	B   []bool
+	I32 []int32
+	I64 []int64
+	F64 []float64
+	Str []string
+	Ptr [][]byte
+}
+
+// NewVector allocates a vector of the given kind with length n.
+func NewVector(kind types.Kind, n int) *Vector {
+	v := &Vector{Kind: kind}
+	v.Resize(n)
+	return v
+}
+
+// Len returns the number of values in the vector.
+func (v *Vector) Len() int {
+	switch v.Kind {
+	case types.Bool:
+		return len(v.B)
+	case types.Int32, types.Date:
+		return len(v.I32)
+	case types.Int64:
+		return len(v.I64)
+	case types.Float64:
+		return len(v.F64)
+	case types.String:
+		return len(v.Str)
+	case types.Ptr:
+		return len(v.Ptr)
+	default:
+		return 0
+	}
+}
+
+// Resize sets the vector length to n, reusing capacity when possible.
+func (v *Vector) Resize(n int) {
+	switch v.Kind {
+	case types.Bool:
+		v.B = grow(v.B, n)
+	case types.Int32, types.Date:
+		v.I32 = grow(v.I32, n)
+	case types.Int64:
+		v.I64 = grow(v.I64, n)
+	case types.Float64:
+		v.F64 = grow(v.F64, n)
+	case types.String:
+		v.Str = grow(v.Str, n)
+	case types.Ptr:
+		v.Ptr = grow(v.Ptr, n)
+	default:
+		panic(fmt.Sprintf("storage: resize of invalid vector kind %v", v.Kind))
+	}
+}
+
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	ns := make([]T, n, max(n, 2*cap(s)))
+	copy(ns, s[:cap(s)])
+	return ns
+}
+
+// Slice returns a view of rows [lo, hi) sharing the backing arrays.
+func (v *Vector) Slice(lo, hi int) *Vector {
+	out := &Vector{Kind: v.Kind}
+	switch v.Kind {
+	case types.Bool:
+		out.B = v.B[lo:hi]
+	case types.Int32, types.Date:
+		out.I32 = v.I32[lo:hi]
+	case types.Int64:
+		out.I64 = v.I64[lo:hi]
+	case types.Float64:
+		out.F64 = v.F64[lo:hi]
+	case types.String:
+		out.Str = v.Str[lo:hi]
+	case types.Ptr:
+		out.Ptr = v.Ptr[lo:hi]
+	}
+	return out
+}
+
+// Gather fills dst with v[sel[i]] for every i. dst must have v's kind; it is
+// resized to len(sel). This is the compaction/expansion workhorse of the
+// dense-chunk execution model.
+func (v *Vector) Gather(dst *Vector, sel []int32) {
+	if dst.Kind != v.Kind {
+		panic(fmt.Sprintf("storage: gather kind mismatch %v vs %v", dst.Kind, v.Kind))
+	}
+	dst.Resize(len(sel))
+	switch v.Kind {
+	case types.Bool:
+		for i, s := range sel {
+			dst.B[i] = v.B[s]
+		}
+	case types.Int32, types.Date:
+		for i, s := range sel {
+			dst.I32[i] = v.I32[s]
+		}
+	case types.Int64:
+		for i, s := range sel {
+			dst.I64[i] = v.I64[s]
+		}
+	case types.Float64:
+		for i, s := range sel {
+			dst.F64[i] = v.F64[s]
+		}
+	case types.String:
+		for i, s := range sel {
+			dst.Str[i] = v.Str[s]
+		}
+	case types.Ptr:
+		for i, s := range sel {
+			dst.Ptr[i] = v.Ptr[s]
+		}
+	}
+}
+
+// AppendFrom appends rows [lo, hi) of src to v. Kinds must match.
+func (v *Vector) AppendFrom(src *Vector, lo, hi int) {
+	if v.Kind != src.Kind {
+		panic(fmt.Sprintf("storage: append kind mismatch %v vs %v", v.Kind, src.Kind))
+	}
+	switch v.Kind {
+	case types.Bool:
+		v.B = append(v.B, src.B[lo:hi]...)
+	case types.Int32, types.Date:
+		v.I32 = append(v.I32, src.I32[lo:hi]...)
+	case types.Int64:
+		v.I64 = append(v.I64, src.I64[lo:hi]...)
+	case types.Float64:
+		v.F64 = append(v.F64, src.F64[lo:hi]...)
+	case types.String:
+		v.Str = append(v.Str, src.Str[lo:hi]...)
+	case types.Ptr:
+		v.Ptr = append(v.Ptr, src.Ptr[lo:hi]...)
+	}
+}
+
+// CopyFrom overwrites v with rows [lo, hi) of src.
+func (v *Vector) CopyFrom(src *Vector, lo, hi int) {
+	v.Resize(0)
+	v.AppendFrom(src, lo, hi)
+}
+
+// Value returns row i as an any-typed scalar; test and debug helper, never on
+// a hot path.
+func (v *Vector) Value(i int) any {
+	switch v.Kind {
+	case types.Bool:
+		return v.B[i]
+	case types.Int32, types.Date:
+		return v.I32[i]
+	case types.Int64:
+		return v.I64[i]
+	case types.Float64:
+		return v.F64[i]
+	case types.String:
+		return v.Str[i]
+	case types.Ptr:
+		return v.Ptr[i]
+	default:
+		return nil
+	}
+}
+
+// SetValue sets row i from an any-typed scalar; test helper.
+func (v *Vector) SetValue(i int, val any) {
+	switch v.Kind {
+	case types.Bool:
+		v.B[i] = val.(bool)
+	case types.Int32, types.Date:
+		v.I32[i] = val.(int32)
+	case types.Int64:
+		v.I64[i] = val.(int64)
+	case types.Float64:
+		v.F64[i] = val.(float64)
+	case types.String:
+		v.Str[i] = val.(string)
+	case types.Ptr:
+		v.Ptr[i] = val.([]byte)
+	default:
+		panic("storage: set on invalid vector")
+	}
+}
+
+// Bytes returns an approximate memory footprint of row i's value; used by
+// materialization accounting (Table I proxies).
+func (v *Vector) RowBytes(i int) int {
+	switch v.Kind {
+	case types.Bool:
+		return 1
+	case types.Int32, types.Date:
+		return 4
+	case types.Int64, types.Float64:
+		return 8
+	case types.String:
+		return 16 + len(v.Str[i])
+	case types.Ptr:
+		return 8
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,207 @@
+package tpch
+
+import (
+	"strings"
+	"testing"
+
+	"inkfuse/internal/algebra"
+	"inkfuse/internal/types"
+	"inkfuse/internal/volcano"
+)
+
+// volcanoRun evaluates a plan on the oracle and returns its row count.
+func volcanoRun(node algebra.Node) (int, error) {
+	out, err := volcano.Run(node)
+	if err != nil {
+		return 0, err
+	}
+	return out.Rows(), nil
+}
+
+// The generator must reproduce the distributions the eight queries are
+// sensitive to; these tests pin them.
+
+func TestLineitemDateRules(t *testing.T) {
+	li := testCat.MustGet("lineitem")
+	ship := li.Col("l_shipdate").I32
+	commit := li.Col("l_commitdate").I32
+	recv := li.Col("l_receiptdate").I32
+	rf := li.Col("l_returnflag").Str
+	ls := li.Col("l_linestatus").Str
+	ord := testCat.MustGet("orders")
+	odate := map[int64]int32{}
+	for i := 0; i < ord.Rows(); i++ {
+		odate[ord.Col("o_orderkey").I64[i]] = ord.Col("o_orderdate").I32[i]
+	}
+	lkey := li.Col("l_orderkey").I64
+	pivot := types.MkDate(1995, 6, 17)
+	for i := 0; i < li.Rows(); i++ {
+		od := odate[lkey[i]]
+		if ship[i] <= od || ship[i] > od+121 {
+			t.Fatalf("row %d: shipdate offset out of range", i)
+		}
+		if commit[i] < od+30 || commit[i] > od+90 {
+			t.Fatalf("row %d: commitdate offset out of range", i)
+		}
+		if recv[i] <= ship[i] || recv[i] > ship[i]+30 {
+			t.Fatalf("row %d: receiptdate before shipdate", i)
+		}
+		// Return flag rule (spec 4.2.3): R/A before the pivot, N after.
+		if recv[i] <= pivot && rf[i] == "N" {
+			t.Fatalf("row %d: N before pivot", i)
+		}
+		if recv[i] > pivot && rf[i] != "N" {
+			t.Fatalf("row %d: %s after pivot", i, rf[i])
+		}
+		if (ship[i] > pivot) != (ls[i] == "O") {
+			t.Fatalf("row %d: linestatus rule broken", i)
+		}
+	}
+}
+
+func TestLineitemValueDomains(t *testing.T) {
+	li := testCat.MustGet("lineitem")
+	for i := 0; i < li.Rows(); i++ {
+		q := li.Col("l_quantity").F64[i]
+		d := li.Col("l_discount").F64[i]
+		tax := li.Col("l_tax").F64[i]
+		if q < 1 || q > 50 {
+			t.Fatalf("quantity %v", q)
+		}
+		if d < 0 || d > 0.10 {
+			t.Fatalf("discount %v", d)
+		}
+		if tax < 0 || tax > 0.08 {
+			t.Fatalf("tax %v", tax)
+		}
+		if li.Col("l_extendedprice").F64[i] <= 0 {
+			t.Fatal("non-positive price")
+		}
+	}
+}
+
+func TestQ6SelectivityBand(t *testing.T) {
+	// Q6's predicate selects roughly 1/7 (date) * ~3/11 (discount) * ~1/2
+	// (quantity) ≈ 2% of lineitem.
+	li := testCat.MustGet("lineitem")
+	lo, hi := types.MkDate(1994, 1, 1), types.MkDate(1995, 1, 1)
+	n := 0
+	for i := 0; i < li.Rows(); i++ {
+		d := li.Col("l_shipdate").I32[i]
+		disc := li.Col("l_discount").F64[i]
+		q := li.Col("l_quantity").F64[i]
+		if d >= lo && d < hi && disc >= 0.05 && disc <= 0.07 && q < 24 {
+			n++
+		}
+	}
+	sel := float64(n) / float64(li.Rows())
+	if sel < 0.005 || sel > 0.05 {
+		t.Fatalf("q6 selectivity %.4f out of band", sel)
+	}
+}
+
+func TestCommentSpecialRequestsShare(t *testing.T) {
+	ord := testCat.MustGet("orders")
+	n := 0
+	for _, c := range ord.Col("o_comment").Str {
+		if strings.Contains(c, "special") && strings.Contains(c[strings.Index(c, "special"):], "requests") {
+			n++
+		}
+	}
+	share := float64(n) / float64(ord.Rows())
+	// dbgen excludes ~1.2% of orders in Q13.
+	if share < 0.002 || share > 0.05 {
+		t.Fatalf("special-requests share %.4f out of band", share)
+	}
+}
+
+func TestCustomerOrderDistribution(t *testing.T) {
+	// A third of customers place no orders (Q13's large zero bucket).
+	ord := testCat.MustGet("orders")
+	cust := testCat.MustGet("customer")
+	has := map[int32]bool{}
+	for _, ck := range ord.Col("o_custkey").I32 {
+		if ck%3 == 0 {
+			t.Fatalf("custkey %d should never order", ck)
+		}
+		has[ck] = true
+	}
+	zero := 0
+	for _, ck := range cust.Col("c_custkey").I32 {
+		if !has[ck] {
+			zero++
+		}
+	}
+	share := float64(zero) / float64(cust.Rows())
+	if share < 0.25 || share > 0.6 {
+		t.Fatalf("zero-order customer share %.3f", share)
+	}
+}
+
+func TestPartDomains(t *testing.T) {
+	part := testCat.MustGet("part")
+	brands := map[string]bool{}
+	containers := map[string]bool{}
+	for i := 0; i < part.Rows(); i++ {
+		b := part.Col("p_brand").Str[i]
+		if !strings.HasPrefix(b, "Brand#") || len(b) != 8 {
+			t.Fatalf("brand %q", b)
+		}
+		brands[b] = true
+		containers[part.Col("p_container").Str[i]] = true
+		sz := part.Col("p_size").I32[i]
+		if sz < 1 || sz > 50 {
+			t.Fatalf("size %d", sz)
+		}
+		ty := part.Col("p_type").Str[i]
+		if len(strings.Fields(ty)) != 3 {
+			t.Fatalf("type %q", ty)
+		}
+	}
+	if len(brands) != 25 {
+		t.Fatalf("brands = %d, want 25", len(brands))
+	}
+	// Q19 needs its specific containers to exist.
+	for _, c := range []string{"SM CASE", "MED BAG", "LG BOX"} {
+		if !containers[c] {
+			t.Fatalf("container %q never generated", c)
+		}
+	}
+}
+
+func TestRetailPriceFormula(t *testing.T) {
+	if retailPrice(1) <= 0 || retailPrice(200000) <= 0 {
+		t.Fatal("retail price non-positive")
+	}
+	if retailPrice(1) == retailPrice(11) && retailPrice(1) == retailPrice(21) {
+		t.Fatal("price formula constant")
+	}
+}
+
+func TestQueriesProduceSaneRowCounts(t *testing.T) {
+	// Shape checks at test SF: Q1 has at most 4 flag/status groups, Q4 at
+	// most 5 priorities, Q5 at most 5 ASIA nations, Q6/Q14/Q19 one row.
+	counts := map[string][2]int{
+		"q1": {3, 4}, "q4": {4, 5}, "q5": {1, 5},
+		"q6": {1, 1}, "q14": {1, 1}, "q19": {1, 1},
+	}
+	for q, band := range counts {
+		node, err := Build(testCat, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := volcanoRun(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out < band[0] || out > band[1] {
+			t.Fatalf("%s: %d rows, want %d..%d", q, out, band[0], band[1])
+		}
+	}
+}
+
+func TestBuildUnknownQuery(t *testing.T) {
+	if _, err := Build(testCat, "q99"); err == nil {
+		t.Fatal("expected unknown-query error")
+	}
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"inkfuse/internal/algebra"
+	"inkfuse/internal/tpch"
+	"inkfuse/internal/volcano"
+)
+
+func main() {
+	cat := tpch.Generate(0.002, 42)
+	f, _ := os.Create("internal/tpch/testdata/golden_sf0002.txt")
+	defer f.Close()
+	fmt.Fprintln(f, "# Golden results: TPC-H-style queries at SF 0.002, seed 42, Volcano oracle.")
+	fmt.Fprintln(f, "# Regenerate: go run ./internal/tpch/testdata/gen (see golden_test.go).")
+	qs := append(append([]string{}, tpch.Queries...), tpch.ExtendedQueries...)
+	for _, q := range qs {
+		node, err := tpch.Build(cat, q)
+		if err != nil {
+			panic(err)
+		}
+		out, err := volcano.Run(node)
+		if err != nil {
+			panic(err)
+		}
+		rows := make([]string, out.Rows())
+		for i := range rows {
+			rows[i] = fmt.Sprintf("%.6v", out.Row(i))
+		}
+		if _, ordered := node.(*algebra.OrderBy); !ordered {
+			sort.Strings(rows)
+		}
+		fmt.Fprintf(f, "== %s (%d rows)\n", q, len(rows))
+		for _, r := range rows {
+			fmt.Fprintln(f, r)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package tpch
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"inkfuse/internal/algebra"
+	"inkfuse/internal/exec"
+	"inkfuse/internal/storage"
+	"inkfuse/internal/volcano"
+)
+
+var testCat = Generate(0.002, 42)
+
+func rowsOf(c *storage.Chunk) []string {
+	out := make([]string, c.Rows())
+	for i := range out {
+		out[i] = fmt.Sprintf("%.6v", c.Row(i))
+	}
+	return out
+}
+
+// TestQueriesAgainstOracle runs every query on every backend and compares
+// with the Volcano oracle. Ordered queries compare row-by-row; unordered
+// ones as multisets.
+func TestQueriesAgainstOracle(t *testing.T) {
+	for _, q := range append(append([]string{}, Queries...), ExtendedQueries...) {
+		t.Run(q, func(t *testing.T) {
+			node, err := Build(testCat, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := volcano.Run(node)
+			if err != nil {
+				t.Fatalf("volcano: %v", err)
+			}
+			_, ordered := node.(*algebra.OrderBy)
+			wantRows := rowsOf(want)
+			if !ordered {
+				sort.Strings(wantRows)
+			}
+			if len(wantRows) == 0 {
+				t.Fatalf("oracle produced no rows — test data too small to exercise %s", q)
+			}
+			for _, backend := range []exec.Backend{
+				exec.BackendVectorized, exec.BackendCompiling, exec.BackendROF, exec.BackendHybrid,
+			} {
+				plan, err := algebra.Lower(node, q)
+				if err != nil {
+					t.Fatalf("lower: %v", err)
+				}
+				lat := exec.LatencyNone
+				res, err := exec.Execute(plan, exec.Options{Backend: backend, Workers: 2, Latency: &lat})
+				if err != nil {
+					t.Fatalf("%v: %v", backend, err)
+				}
+				gotRows := rowsOf(res.Chunk)
+				if !ordered {
+					sort.Strings(gotRows)
+				}
+				if len(gotRows) != len(wantRows) {
+					t.Fatalf("%v: got %d rows, want %d", backend, len(gotRows), len(wantRows))
+				}
+				for i := range gotRows {
+					if gotRows[i] != wantRows[i] {
+						t.Errorf("%v: row %d:\n got  %s\n want %s", backend, i, gotRows[i], wantRows[i])
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := Generate(0.001, 7)
+	b := Generate(0.001, 7)
+	for _, name := range []string{"lineitem", "orders", "customer", "part"} {
+		ta, tb := a.MustGet(name), b.MustGet(name)
+		if ta.Rows() != tb.Rows() {
+			t.Fatalf("%s: row counts differ", name)
+		}
+		for i := 0; i < min(ta.Rows(), 100); i++ {
+			ra := fmt.Sprintf("%v", rowOf(ta, i))
+			rb := fmt.Sprintf("%v", rowOf(tb, i))
+			if ra != rb {
+				t.Fatalf("%s row %d differs: %s vs %s", name, i, ra, rb)
+			}
+		}
+	}
+}
+
+func rowOf(t *storage.Table, i int) []any {
+	out := make([]any, len(t.Cols))
+	for j, c := range t.Cols {
+		out[j] = c.Value(i)
+	}
+	return out
+}
+
+func TestGeneratorScaling(t *testing.T) {
+	small := Generate(0.001, 1)
+	big := Generate(0.004, 1)
+	s := small.MustGet("orders").Rows()
+	b := big.MustGet("orders").Rows()
+	if b < 3*s || b > 5*s {
+		t.Fatalf("orders scaling off: %d vs %d", s, b)
+	}
+	li := big.MustGet("lineitem").Rows()
+	ord := big.MustGet("orders").Rows()
+	if li < 3*ord || li > 5*ord {
+		t.Fatalf("lineitem per order out of range: %d lineitems for %d orders", li, ord)
+	}
+}

@@ -1,0 +1,574 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+
+	"inkfuse/internal/ir"
+	"inkfuse/internal/rt"
+	"inkfuse/internal/storage"
+	"inkfuse/internal/types"
+)
+
+// Typed slice accessors: resolve the concrete array of a vector once per
+// batch so the kernels below run over plain slices.
+
+func getB(v *storage.Vector) []bool      { return v.B }
+func getI32(v *storage.Vector) []int32   { return v.I32 }
+func getI64(v *storage.Vector) []int64   { return v.I64 }
+func getF64(v *storage.Vector) []float64 { return v.F64 }
+func getStr(v *storage.Vector) []string  { return v.Str }
+func getPtr(v *storage.Vector) [][]byte  { return v.Ptr }
+
+// Runtime-constant accessors (paper §IV-C: constants are resolved from state
+// at execution time so primitives stay enumerable).
+
+func constB(id int) func([]any) bool {
+	return func(st []any) bool { return st[id].(*rt.ConstState).B }
+}
+func constI32(id int) func([]any) int32 {
+	return func(st []any) int32 { return st[id].(*rt.ConstState).I32 }
+}
+func constI64(id int) func([]any) int64 {
+	return func(st []any) int64 { return st[id].(*rt.ConstState).I64 }
+}
+func constF64(id int) func([]any) float64 {
+	return func(st []any) float64 { return st[id].(*rt.ConstState).F64 }
+}
+func constStr(id int) func([]any) string {
+	return func(st []any) string { return st[id].(*rt.ConstState).Str }
+}
+
+type number interface{ ~int32 | ~int64 | ~float64 }
+
+type ordered interface {
+	~int32 | ~int64 | ~float64 | ~string
+}
+
+func arithKernel[T number](op ir.BinOp) func(d, a, b []T) {
+	switch op {
+	case ir.Add:
+		return func(d, a, b []T) {
+			for i := range d {
+				d[i] = a[i] + b[i]
+			}
+		}
+	case ir.Sub:
+		return func(d, a, b []T) {
+			for i := range d {
+				d[i] = a[i] - b[i]
+			}
+		}
+	case ir.Mul:
+		return func(d, a, b []T) {
+			for i := range d {
+				d[i] = a[i] * b[i]
+			}
+		}
+	default: // Div
+		return func(d, a, b []T) {
+			for i := range d {
+				d[i] = a[i] / b[i]
+			}
+		}
+	}
+}
+
+func cmpKernel[T ordered](op ir.CmpOp) func(d []bool, a, b []T) {
+	switch op {
+	case ir.Lt:
+		return func(d []bool, a, b []T) {
+			for i := range d {
+				d[i] = a[i] < b[i]
+			}
+		}
+	case ir.Le:
+		return func(d []bool, a, b []T) {
+			for i := range d {
+				d[i] = a[i] <= b[i]
+			}
+		}
+	case ir.Eq:
+		return func(d []bool, a, b []T) {
+			for i := range d {
+				d[i] = a[i] == b[i]
+			}
+		}
+	case ir.Ne:
+		return func(d []bool, a, b []T) {
+			for i := range d {
+				d[i] = a[i] != b[i]
+			}
+		}
+	case ir.Ge:
+		return func(d []bool, a, b []T) {
+			for i := range d {
+				d[i] = a[i] >= b[i]
+			}
+		}
+	default: // Gt
+		return func(d []bool, a, b []T) {
+			for i := range d {
+				d[i] = a[i] > b[i]
+			}
+		}
+	}
+}
+
+// operand is a compiled expression operand: either a slot or a runtime
+// constant. Having both lets one kernel cover the column/column and
+// column/constant primitive variants. Constant operands broadcast into a
+// per-frame auxiliary buffer, so a Program stays safe to share across
+// workers.
+type operand[T any] struct {
+	slot  int
+	get   func(*storage.Vector) []T
+	cget  func([]any) T
+	aux   int
+	isCol bool
+}
+
+func (o operand[T]) load(fr *frame, n int) []T {
+	if o.isCol {
+		return o.get(fr.vecs[o.slot])[:n]
+	}
+	// Broadcast the constant into this frame's reusable buffer.
+	c := o.cget(fr.state)
+	b, _ := fr.aux[o.aux].([]T)
+	if cap(b) < n {
+		b = make([]T, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = c
+	}
+	fr.aux[o.aux] = b
+	return b
+}
+
+// compileOperand compiles e either to a column slot or a constant accessor.
+func compileOperand[T any](c *compiler, blk *[]exec, e ir.Expr,
+	get func(*storage.Vector) []T, cget func(int) func([]any) T) (operand[T], error) {
+	if cr, ok := e.(ir.ConstRef); ok {
+		return operand[T]{cget: cget(cr.StateID), aux: c.newAux()}, nil
+	}
+	s, err := c.expr(e, blk)
+	if err != nil {
+		return operand[T]{}, err
+	}
+	return operand[T]{slot: s, get: get, isCol: true}, nil
+}
+
+// binOp emits a kernel over two operands into a fresh slot of kind k. The
+// destination element type D may differ from the operand type T
+// (comparisons produce bools).
+func binOp[T, D any](c *compiler, blk *[]exec, k types.Kind, l, r operand[T],
+	kern func(d []D, a, b []T), getD func(*storage.Vector) []D) int {
+	ds := c.newSlot(k)
+	*blk = append(*blk, func(fr *frame, n int) {
+		dv := fr.vecs[ds]
+		dv.Resize(n)
+		a := l.load(fr, n)
+		b := r.load(fr, n)
+		kern(getD(dv)[:n], a, b)
+		fr.ctx.Counters.VMOps += int64(n)
+	})
+	return ds
+}
+
+func buildArith[T number](c *compiler, blk *[]exec, x ir.BinExpr, k types.Kind,
+	get func(*storage.Vector) []T, cget func(int) func([]any) T) (int, error) {
+	l, err := compileOperand(c, blk, x.L, get, cget)
+	if err != nil {
+		return 0, err
+	}
+	r, err := compileOperand(c, blk, x.R, get, cget)
+	if err != nil {
+		return 0, err
+	}
+	return binOp(c, blk, k, l, r, arithKernel[T](x.Op), get), nil
+}
+
+func buildCmp[T ordered](c *compiler, blk *[]exec, x ir.CmpExpr,
+	get func(*storage.Vector) []T, cget func(int) func([]any) T) (int, error) {
+	l, err := compileOperand(c, blk, x.L, get, cget)
+	if err != nil {
+		return 0, err
+	}
+	r, err := compileOperand(c, blk, x.R, get, cget)
+	if err != nil {
+		return 0, err
+	}
+	return binOp(c, blk, types.Bool, l, r, cmpKernel[T](x.Op), getB), nil
+}
+
+func buildSelect[T any](c *compiler, blk *[]exec, x ir.CondExpr, k types.Kind,
+	get func(*storage.Vector) []T, cget func(int) func([]any) T) (int, error) {
+	cs, err := c.expr(x.Cond, blk)
+	if err != nil {
+		return 0, err
+	}
+	t, err := compileOperand(c, blk, x.Then, get, cget)
+	if err != nil {
+		return 0, err
+	}
+	e, err := compileOperand(c, blk, x.Else, get, cget)
+	if err != nil {
+		return 0, err
+	}
+	ds := c.newSlot(k)
+	*blk = append(*blk, func(fr *frame, n int) {
+		dv := fr.vecs[ds]
+		dv.Resize(n)
+		d := get(dv)[:n]
+		cond := fr.vecs[cs].B[:n]
+		tv := t.load(fr, n)
+		ev := e.load(fr, n)
+		for i := range d {
+			if cond[i] {
+				d[i] = tv[i]
+			} else {
+				d[i] = ev[i]
+			}
+		}
+		fr.ctx.Counters.VMOps += int64(n)
+	})
+	return ds, nil
+}
+
+// expr compiles an expression, appending its ops to blk, and returns the
+// slot holding the dense result at the current scope cardinality.
+func (c *compiler) expr(e ir.Expr, blk *[]exec) (int, error) {
+	switch x := e.(type) {
+	case ir.VarRef:
+		return c.slot(x.V)
+
+	case ir.ConstRef:
+		// Standalone constant: broadcast into a fresh slot.
+		ds := c.newSlot(x.K)
+		id := x.StateID
+		switch x.K {
+		case types.Bool:
+			cg := constB(id)
+			*blk = append(*blk, func(fr *frame, n int) { fillVec(fr, ds, n, cg(fr.state), getB) })
+		case types.Int32, types.Date:
+			cg := constI32(id)
+			*blk = append(*blk, func(fr *frame, n int) { fillVec(fr, ds, n, cg(fr.state), getI32) })
+		case types.Int64:
+			cg := constI64(id)
+			*blk = append(*blk, func(fr *frame, n int) { fillVec(fr, ds, n, cg(fr.state), getI64) })
+		case types.Float64:
+			cg := constF64(id)
+			*blk = append(*blk, func(fr *frame, n int) { fillVec(fr, ds, n, cg(fr.state), getF64) })
+		case types.String:
+			cg := constStr(id)
+			*blk = append(*blk, func(fr *frame, n int) { fillVec(fr, ds, n, cg(fr.state), getStr) })
+		default:
+			return 0, fmt.Errorf("const of kind %v", x.K)
+		}
+		return ds, nil
+
+	case ir.BinExpr:
+		switch x.Kind() {
+		case types.Int32:
+			return buildArith(c, blk, x, types.Int32, getI32, constI32)
+		case types.Int64:
+			return buildArith(c, blk, x, types.Int64, getI64, constI64)
+		case types.Float64:
+			return buildArith(c, blk, x, types.Float64, getF64, constF64)
+		default:
+			return 0, fmt.Errorf("arith on kind %v", x.Kind())
+		}
+
+	case ir.CmpExpr:
+		switch x.L.Kind() {
+		case types.Int32, types.Date:
+			return buildCmp(c, blk, x, getI32, constI32)
+		case types.Int64:
+			return buildCmp(c, blk, x, getI64, constI64)
+		case types.Float64:
+			return buildCmp(c, blk, x, getF64, constF64)
+		case types.String:
+			return buildCmp(c, blk, x, getStr, constStr)
+		default:
+			return 0, fmt.Errorf("compare on kind %v", x.L.Kind())
+		}
+
+	case ir.LogicExpr:
+		ls, err := c.expr(x.L, blk)
+		if err != nil {
+			return 0, err
+		}
+		rs, err := c.expr(x.R, blk)
+		if err != nil {
+			return 0, err
+		}
+		ds := c.newSlot(types.Bool)
+		and := x.Op == ir.And
+		*blk = append(*blk, func(fr *frame, n int) {
+			dv := fr.vecs[ds]
+			dv.Resize(n)
+			d := dv.B[:n]
+			a := fr.vecs[ls].B[:n]
+			b := fr.vecs[rs].B[:n]
+			if and {
+				for i := range d {
+					d[i] = a[i] && b[i]
+				}
+			} else {
+				for i := range d {
+					d[i] = a[i] || b[i]
+				}
+			}
+			fr.ctx.Counters.VMOps += int64(n)
+		})
+		return ds, nil
+
+	case ir.NotExpr:
+		es, err := c.expr(x.E, blk)
+		if err != nil {
+			return 0, err
+		}
+		ds := c.newSlot(types.Bool)
+		*blk = append(*blk, func(fr *frame, n int) {
+			dv := fr.vecs[ds]
+			dv.Resize(n)
+			d := dv.B[:n]
+			a := fr.vecs[es].B[:n]
+			for i := range d {
+				d[i] = !a[i]
+			}
+			fr.ctx.Counters.VMOps += int64(n)
+		})
+		return ds, nil
+
+	case ir.CastExpr:
+		es, err := c.expr(x.E, blk)
+		if err != nil {
+			return 0, err
+		}
+		from, to := x.E.Kind(), x.To
+		ds := c.newSlot(to)
+		var op exec
+		switch {
+		case (from == types.Int32 || from == types.Date) && to == types.Int64:
+			op = func(fr *frame, n int) {
+				dv := fr.vecs[ds]
+				dv.Resize(n)
+				d := dv.I64[:n]
+				a := fr.vecs[es].I32[:n]
+				for i := range d {
+					d[i] = int64(a[i])
+				}
+				fr.ctx.Counters.VMOps += int64(n)
+			}
+		case (from == types.Int32 || from == types.Date) && to == types.Float64:
+			op = func(fr *frame, n int) {
+				dv := fr.vecs[ds]
+				dv.Resize(n)
+				d := dv.F64[:n]
+				a := fr.vecs[es].I32[:n]
+				for i := range d {
+					d[i] = float64(a[i])
+				}
+				fr.ctx.Counters.VMOps += int64(n)
+			}
+		case from == types.Int64 && to == types.Float64:
+			op = func(fr *frame, n int) {
+				dv := fr.vecs[ds]
+				dv.Resize(n)
+				d := dv.F64[:n]
+				a := fr.vecs[es].I64[:n]
+				for i := range d {
+					d[i] = float64(a[i])
+				}
+				fr.ctx.Counters.VMOps += int64(n)
+			}
+		case from == types.Int64 && to == types.Int32:
+			op = func(fr *frame, n int) {
+				dv := fr.vecs[ds]
+				dv.Resize(n)
+				d := dv.I32[:n]
+				a := fr.vecs[es].I64[:n]
+				for i := range d {
+					d[i] = int32(a[i])
+				}
+				fr.ctx.Counters.VMOps += int64(n)
+			}
+		default:
+			return 0, fmt.Errorf("unsupported cast %v -> %v", from, to)
+		}
+		*blk = append(*blk, op)
+		return ds, nil
+
+	case ir.LikeExpr:
+		ss, err := c.expr(x.S, blk)
+		if err != nil {
+			return 0, err
+		}
+		ds := c.newSlot(types.Bool)
+		id, neg := x.StateID, x.Negate
+		*blk = append(*blk, func(fr *frame, n int) {
+			m := fr.state[id].(*rt.LikeState).M
+			dv := fr.vecs[ds]
+			dv.Resize(n)
+			d := dv.B[:n]
+			s := fr.vecs[ss].Str[:n]
+			for i := range d {
+				d[i] = m.Match(s[i]) != neg
+			}
+			fr.ctx.Counters.VMOps += int64(n)
+		})
+		return ds, nil
+
+	case ir.InListExpr:
+		ss, err := c.expr(x.S, blk)
+		if err != nil {
+			return 0, err
+		}
+		ds := c.newSlot(types.Bool)
+		id := x.StateID
+		*blk = append(*blk, func(fr *frame, n int) {
+			set := fr.state[id].(*rt.InListState).Set
+			dv := fr.vecs[ds]
+			dv.Resize(n)
+			d := dv.B[:n]
+			s := fr.vecs[ss].Str[:n]
+			for i := range d {
+				d[i] = set[s[i]]
+			}
+			fr.ctx.Counters.VMOps += int64(n)
+		})
+		return ds, nil
+
+	case ir.StrLower:
+		ss, err := c.expr(x.E, blk)
+		if err != nil {
+			return 0, err
+		}
+		ds := c.newSlot(types.String)
+		*blk = append(*blk, func(fr *frame, n int) {
+			dv := fr.vecs[ds]
+			dv.Resize(n)
+			d := dv.Str[:n]
+			s := fr.vecs[ss].Str[:n]
+			for i := range d {
+				d[i] = strings.ToLower(s[i])
+			}
+			fr.ctx.Counters.VMOps += int64(n)
+		})
+		return ds, nil
+
+	case ir.CondExpr:
+		switch x.Kind() {
+		case types.Bool:
+			return buildSelect(c, blk, x, types.Bool, getB, constB)
+		case types.Int32, types.Date:
+			return buildSelect(c, blk, x, x.Kind(), getI32, constI32)
+		case types.Int64:
+			return buildSelect(c, blk, x, types.Int64, getI64, constI64)
+		case types.Float64:
+			return buildSelect(c, blk, x, types.Float64, getF64, constF64)
+		case types.String:
+			return buildSelect(c, blk, x, types.String, getStr, constStr)
+		default:
+			return 0, fmt.Errorf("case of kind %v", x.Kind())
+		}
+
+	case ir.UnpackFixed:
+		rs, err := c.expr(x.Row, blk)
+		if err != nil {
+			return 0, err
+		}
+		ds := c.newSlot(x.K)
+		id := x.StateID
+		payload := x.Region == ir.PayloadRegion
+		base := func(r []byte) int {
+			if payload {
+				return rt.RowPayloadOff(r)
+			}
+			return 4
+		}
+		var op exec
+		switch x.K {
+		case types.Bool:
+			op = unpackOp(rs, ds, id, base, getB, rt.GetBool)
+		case types.Int32, types.Date:
+			op = unpackOp(rs, ds, id, base, getI32, rt.GetI32)
+		case types.Int64:
+			op = unpackOp(rs, ds, id, base, getI64, rt.GetI64)
+		case types.Float64:
+			op = unpackOp(rs, ds, id, base, getF64, rt.GetF64)
+		default:
+			return 0, fmt.Errorf("unpack fixed of kind %v", x.K)
+		}
+		*blk = append(*blk, op)
+		return ds, nil
+
+	case ir.UnpackStr:
+		rs, err := c.expr(x.Row, blk)
+		if err != nil {
+			return 0, err
+		}
+		ds := c.newSlot(types.String)
+		id := x.StateID
+		key := x.Region == ir.KeyRegion
+		*blk = append(*blk, func(fr *frame, n int) {
+			st := fr.state[id].(*rt.VarSlotState)
+			dv := fr.vecs[ds]
+			dv.Resize(n)
+			d := dv.Str[:n]
+			rows := fr.vecs[rs].Ptr[:n]
+			for i := range d {
+				r := rows[i]
+				if r == nil {
+					d[i] = ""
+					continue
+				}
+				var off int
+				if key {
+					off = rt.KeyStringOff(r, st.FixedWidth, st.VarIdx)
+				} else {
+					off = rt.PayloadStringOff(r, st.FixedWidth, st.VarIdx)
+				}
+				d[i] = rt.GetString(r, off)
+			}
+			fr.ctx.Counters.VMOps += int64(n)
+		})
+		return ds, nil
+
+	default:
+		return 0, fmt.Errorf("unknown expr %T", e)
+	}
+}
+
+func fillVec[T any](fr *frame, ds, n int, v T, get func(*storage.Vector) []T) {
+	dv := fr.vecs[ds]
+	dv.Resize(n)
+	d := get(dv)[:n]
+	for i := range d {
+		d[i] = v
+	}
+	fr.ctx.Counters.VMOps += int64(n)
+}
+
+func unpackOp[T any](rs, ds, stateID int, base func([]byte) int,
+	get func(*storage.Vector) []T, read func([]byte, int) T) exec {
+	return func(fr *frame, n int) {
+		off := fr.state[stateID].(*rt.OffsetState).Off
+		dv := fr.vecs[ds]
+		dv.Resize(n)
+		d := get(dv)[:n]
+		rows := fr.vecs[rs].Ptr[:n]
+		var zero T
+		for i := range d {
+			r := rows[i]
+			if r == nil {
+				d[i] = zero
+				continue
+			}
+			d[i] = read(r, base(r)+off)
+		}
+		fr.ctx.Counters.VMOps += int64(n)
+	}
+}

@@ -1,0 +1,535 @@
+package vm
+
+import (
+	"fmt"
+
+	"inkfuse/internal/ir"
+	"inkfuse/internal/rt"
+	"inkfuse/internal/storage"
+	"inkfuse/internal/types"
+)
+
+func (c *compiler) block(stmts []ir.Stmt) ([]exec, error) {
+	var blk []exec
+	for _, s := range stmts {
+		if err := c.stmt(s, &blk); err != nil {
+			return nil, err
+		}
+	}
+	return blk, nil
+}
+
+func (c *compiler) stmt(s ir.Stmt, blk *[]exec) error {
+	switch s := s.(type) {
+	case ir.Assign:
+		slot, err := c.expr(s.E, blk)
+		if err != nil {
+			return err
+		}
+		if c.p.slotKinds[slot] != s.Dst.K {
+			return fmt.Errorf("assign kind mismatch: %v into %s (%v)", c.p.slotKinds[slot], s.Dst, s.Dst.K)
+		}
+		c.slotOf[s.Dst.ID] = slot
+		return nil
+
+	case ir.Copy:
+		src, err := c.slot(s.Src)
+		if err != nil {
+			return err
+		}
+		c.slotOf[s.Dst.ID] = src
+		return nil
+
+	case ir.FilterStmt:
+		cs, err := c.slot(s.Cond)
+		if err != nil {
+			return err
+		}
+		type gpair struct{ src, dst int }
+		pairs := make([]gpair, 0, len(s.Copies))
+		for _, cp := range s.Copies {
+			src, err := c.slot(cp.Src)
+			if err != nil {
+				return err
+			}
+			pairs = append(pairs, gpair{src: src, dst: c.bind(cp.Dst)})
+		}
+		body, err := c.block(s.Body)
+		if err != nil {
+			return err
+		}
+		selAux := c.newAux()
+		*blk = append(*blk, func(fr *frame, n int) {
+			cond := fr.vecs[cs].B[:n]
+			sel := fr.auxSel(selAux)
+			for i, ok := range cond {
+				if ok {
+					sel = append(sel, int32(i))
+				}
+			}
+			fr.putAuxSel(selAux, sel)
+			for _, p := range pairs {
+				fr.vecs[p.src].Gather(fr.vecs[p.dst], sel)
+			}
+			fr.ctx.Counters.VMOps += int64(n)
+			runBlock(body, fr, len(sel))
+		})
+		return nil
+
+	case ir.MakeRow:
+		ds := c.bind(s.Dst)
+		id := s.StateID
+		*blk = append(*blk, func(fr *frame, n int) {
+			layout := fr.state[id].(*rt.RowLayoutState)
+			sc := fr.ctx.Scratch(layout)
+			sc.Prepare(n)
+			dv := fr.vecs[ds]
+			dv.Resize(n)
+			d := dv.Ptr[:n]
+			for i := range d {
+				d[i] = sc.Row(i)
+			}
+			fr.ctx.Counters.VMOps += int64(n)
+		})
+		return nil
+
+	case ir.PackFixed:
+		rs, err := c.slot(s.Row)
+		if err != nil {
+			return err
+		}
+		vs, err := c.expr(s.Val, blk)
+		if err != nil {
+			return err
+		}
+		id := s.StateID
+		payload := s.Region == ir.PayloadRegion
+		var op exec
+		switch k := s.Val.Kind(); k {
+		case types.Bool:
+			op = packFixedOp(rs, vs, id, payload, getB, rt.PutBool)
+		case types.Int32, types.Date:
+			op = packFixedOp(rs, vs, id, payload, getI32, rt.PutI32)
+		case types.Int64:
+			op = packFixedOp(rs, vs, id, payload, getI64, rt.PutI64)
+		case types.Float64:
+			op = packFixedOp(rs, vs, id, payload, getF64, rt.PutF64)
+		default:
+			return fmt.Errorf("pack fixed of kind %v", k)
+		}
+		*blk = append(*blk, op)
+		// Fixed-width packing mutates in place: the row handle is unchanged.
+		c.slotOf[s.Dst.ID] = rs
+		return nil
+
+	case ir.PackStr:
+		rs, err := c.slot(s.Row)
+		if err != nil {
+			return err
+		}
+		vs, err := c.expr(s.Val, blk)
+		if err != nil {
+			return err
+		}
+		ds := c.bind(s.Dst)
+		id := s.StateID
+		key := s.Region == ir.KeyRegion
+		*blk = append(*blk, func(fr *frame, n int) {
+			layout := fr.state[id].(*rt.OffsetState).Layout
+			sc := fr.ctx.Scratch(layout)
+			v := fr.vecs[vs].Str[:n]
+			for i := range v {
+				if key {
+					sc.AppendKeyString(i, v[i])
+				} else {
+					sc.AppendPayloadString(i, v[i])
+				}
+			}
+			// Appending may reallocate: refresh the row handles.
+			dv := fr.vecs[ds]
+			dv.Resize(n)
+			d := dv.Ptr[:n]
+			for i := range d {
+				d[i] = sc.Row(i)
+			}
+			_ = fr.vecs[rs] // rows were addressed through the scratch
+			fr.ctx.Counters.VMOps += int64(n)
+		})
+		return nil
+
+	case ir.SealKey:
+		if _, err := c.slot(s.Row); err != nil {
+			return err
+		}
+		ds := c.bind(s.Dst)
+		id := s.StateID
+		*blk = append(*blk, func(fr *frame, n int) {
+			layout := fr.state[id].(*rt.RowLayoutState)
+			sc := fr.ctx.Scratch(layout)
+			dv := fr.vecs[ds]
+			dv.Resize(n)
+			d := dv.Ptr[:n]
+			for i := range d {
+				sc.SealKey(i)
+				d[i] = sc.Row(i)
+			}
+			fr.ctx.Counters.VMOps += int64(n)
+		})
+		return nil
+
+	case ir.AggLookup:
+		rs, err := c.slot(s.Row)
+		if err != nil {
+			return err
+		}
+		ds := c.bind(s.Dst)
+		id := s.StateID
+		*blk = append(*blk, func(fr *frame, n int) {
+			st := fr.state[id].(*rt.AggTableState)
+			tbl := fr.ctx.AggTable(st)
+			dv := fr.vecs[ds]
+			dv.Resize(n)
+			d := dv.Ptr[:n]
+			rows := fr.vecs[rs].Ptr[:n]
+			for i := range d {
+				key := rt.RowKey(rows[i])
+				// The probe row's payload region seeds new groups (it
+				// carries preserved original key strings for collated keys,
+				// paper §IV-D; empty otherwise).
+				seed := rows[i][4+len(key):]
+				d[i] = tbl.FindOrCreateSeed(key, rt.Hash64(key), seed)
+			}
+			fr.ctx.Counters.VMOps += int64(n)
+			fr.ctx.Counters.HTProbes += int64(n)
+		})
+		return nil
+
+	case ir.AggLookupFixed:
+		ks, err := c.slot(s.Key)
+		if err != nil {
+			return err
+		}
+		ds := c.bind(s.Dst)
+		id := s.StateID
+		var op exec
+		switch s.Key.K {
+		case types.Bool:
+			op = aggLookupFixedOp(ks, ds, id, getB, func(b []byte, v bool) []byte {
+				rt.PutBool(b[:1], 0, v)
+				return b[:1]
+			})
+		case types.Int32, types.Date:
+			op = aggLookupFixedOp(ks, ds, id, getI32, func(b []byte, v int32) []byte {
+				rt.PutI32(b, 0, v)
+				return b[:4]
+			})
+		case types.Int64:
+			op = aggLookupFixedOp(ks, ds, id, getI64, func(b []byte, v int64) []byte {
+				rt.PutI64(b, 0, v)
+				return b[:8]
+			})
+		case types.Float64:
+			op = aggLookupFixedOp(ks, ds, id, getF64, func(b []byte, v float64) []byte {
+				rt.PutF64(b, 0, v)
+				return b[:8]
+			})
+		default:
+			return fmt.Errorf("direct lookup on kind %v", s.Key.K)
+		}
+		*blk = append(*blk, op)
+		return nil
+
+	case ir.AggUpdate:
+		gs, err := c.slot(s.Group)
+		if err != nil {
+			return err
+		}
+		vs := -1
+		if s.Val != nil {
+			if vs, err = c.expr(s.Val, blk); err != nil {
+				return err
+			}
+		}
+		op, err := aggUpdateOp(s.Fn, gs, vs, s.StateID)
+		if err != nil {
+			return err
+		}
+		*blk = append(*blk, op)
+		return nil
+
+	case ir.JoinInsert:
+		rs, err := c.slot(s.Row)
+		if err != nil {
+			return err
+		}
+		id := s.StateID
+		*blk = append(*blk, func(fr *frame, n int) {
+			tbl := fr.state[id].(*rt.JoinTableState).Table
+			rows := fr.vecs[rs].Ptr[:n]
+			for _, r := range rows {
+				key := rt.RowKey(r)
+				payload := r[4+len(key):]
+				tbl.Insert(key, payload, rt.Hash64(key))
+			}
+			fr.ctx.Counters.VMOps += int64(n)
+			fr.ctx.Counters.HTInserts += int64(n)
+		})
+		return nil
+
+	case ir.Prefetch:
+		rs, err := c.slot(s.Row)
+		if err != nil {
+			return err
+		}
+		id := s.StateID
+		*blk = append(*blk, func(fr *frame, n int) {
+			tbl := fr.state[id].(*rt.JoinTableState).Table
+			rows := fr.vecs[rs].Ptr[:n]
+			var acc byte
+			for _, r := range rows {
+				key := rt.RowKey(r)
+				acc ^= tbl.Touch(key, rt.Hash64(key))
+			}
+			fr.prefetchSink = acc
+			fr.ctx.Counters.VMOps += int64(n)
+		})
+		return nil
+
+	case ir.ProbeStmt:
+		return c.probe(s, blk)
+
+	case ir.EmitStmt:
+		slots := make([]int, len(s.Cols))
+		for i, v := range s.Cols {
+			sl, err := c.slot(v)
+			if err != nil {
+				return err
+			}
+			slots[i] = sl
+		}
+		vecAux := c.newAux()
+		*blk = append(*blk, func(fr *frame, n int) {
+			vs, _ := fr.aux[vecAux].([]*storage.Vector)
+			vs = vs[:0]
+			for _, sl := range slots {
+				vs = append(vs, fr.vecs[sl])
+			}
+			fr.aux[vecAux] = vs
+			bytes := fr.out.AppendFromVectors(vs, n)
+			fr.emitted += n
+			fr.ctx.Counters.EmittedRows += int64(n)
+			fr.ctx.Counters.MaterializedBytes += bytes
+		})
+		return nil
+
+	default:
+		return fmt.Errorf("unknown stmt %T", s)
+	}
+}
+
+func packFixedOp[T any](rs, vs, stateID int, payload bool,
+	get func(*storage.Vector) []T, put func([]byte, int, T)) exec {
+	return func(fr *frame, n int) {
+		off := fr.state[stateID].(*rt.OffsetState).Off
+		rows := fr.vecs[rs].Ptr[:n]
+		v := get(fr.vecs[vs])[:n]
+		if payload {
+			for i, r := range rows {
+				put(r, rt.RowPayloadOff(r)+off, v[i])
+			}
+		} else {
+			for i, r := range rows {
+				put(r, 4+off, v[i])
+			}
+		}
+		fr.ctx.Counters.VMOps += int64(n)
+	}
+}
+
+// aggLookupFixedOp probes the aggregation table with a raw fixed-width
+// column value, no packed-row scratch (paper §IV-D's single-column fast
+// path). The 8-byte stack buffer is safe to reuse: the table copies the key
+// on group creation.
+func aggLookupFixedOp[T any](ks, ds, stateID int,
+	get func(*storage.Vector) []T, enc func([]byte, T) []byte) exec {
+	return func(fr *frame, n int) {
+		st := fr.state[stateID].(*rt.AggTableState)
+		tbl := fr.ctx.AggTable(st)
+		dv := fr.vecs[ds]
+		dv.Resize(n)
+		d := dv.Ptr[:n]
+		keys := get(fr.vecs[ks])[:n]
+		var buf [8]byte
+		for i := range d {
+			k := enc(buf[:], keys[i])
+			d[i] = tbl.FindOrCreate(k, rt.Hash64(k))
+		}
+		fr.ctx.Counters.VMOps += int64(n)
+		fr.ctx.Counters.HTProbes += int64(n)
+	}
+}
+
+func aggUpdateOp(fn ir.AggFunc, gs, vs, stateID int) (exec, error) {
+	switch fn {
+	case ir.AggSumI64:
+		return aggFold(gs, vs, stateID, getI64, func(g []byte, o int, v int64) {
+			rt.PutI64(g, o, rt.GetI64(g, o)+v)
+		}), nil
+	case ir.AggSumF64:
+		return aggFold(gs, vs, stateID, getF64, func(g []byte, o int, v float64) {
+			rt.PutF64(g, o, rt.GetF64(g, o)+v)
+		}), nil
+	case ir.AggCount:
+		return func(fr *frame, n int) {
+			off := fr.state[stateID].(*rt.OffsetState).Off
+			rows := fr.vecs[gs].Ptr[:n]
+			for _, g := range rows {
+				o := rt.RowPayloadOff(g) + off
+				rt.PutI64(g, o, rt.GetI64(g, o)+1)
+			}
+			fr.ctx.Counters.VMOps += int64(n)
+		}, nil
+	case ir.AggCountIf:
+		return aggFold(gs, vs, stateID, getB, func(g []byte, o int, v bool) {
+			if v {
+				rt.PutI64(g, o, rt.GetI64(g, o)+1)
+			}
+		}), nil
+	case ir.AggMinF64:
+		return aggFold(gs, vs, stateID, getF64, func(g []byte, o int, v float64) {
+			if v < rt.GetF64(g, o) {
+				rt.PutF64(g, o, v)
+			}
+		}), nil
+	case ir.AggMaxF64:
+		return aggFold(gs, vs, stateID, getF64, func(g []byte, o int, v float64) {
+			if v > rt.GetF64(g, o) {
+				rt.PutF64(g, o, v)
+			}
+		}), nil
+	case ir.AggMinI32:
+		return aggFold(gs, vs, stateID, getI32, func(g []byte, o int, v int32) {
+			if v < rt.GetI32(g, o) {
+				rt.PutI32(g, o, v)
+			}
+		}), nil
+	case ir.AggMaxI32:
+		return aggFold(gs, vs, stateID, getI32, func(g []byte, o int, v int32) {
+			if v > rt.GetI32(g, o) {
+				rt.PutI32(g, o, v)
+			}
+		}), nil
+	default:
+		return nil, fmt.Errorf("unknown aggregate %v", fn)
+	}
+}
+
+func aggFold[T any](gs, vs, stateID int, get func(*storage.Vector) []T,
+	fold func(g []byte, off int, v T)) exec {
+	return func(fr *frame, n int) {
+		off := fr.state[stateID].(*rt.OffsetState).Off
+		rows := fr.vecs[gs].Ptr[:n]
+		v := get(fr.vecs[vs])[:n]
+		for i, g := range rows {
+			fold(g, rt.RowPayloadOff(g)+off, v[i])
+		}
+		fr.ctx.Counters.VMOps += int64(n)
+	}
+}
+
+func (c *compiler) probe(s ir.ProbeStmt, blk *[]exec) error {
+	prs, err := c.slot(s.ProbeRow)
+	if err != nil {
+		return err
+	}
+	probeDst := c.bind(s.Probe)
+	buildDst := -1
+	if s.Mode == ir.InnerJoin || s.Mode == ir.LeftOuterJoin {
+		buildDst = c.bind(s.Build)
+	}
+	matchedDst := -1
+	if s.Mode == ir.LeftOuterJoin {
+		matchedDst = c.bind(s.Matched)
+	}
+	body, err := c.block(s.Body)
+	if err != nil {
+		return err
+	}
+	selAux := c.newAux()
+	rowAux := c.newAux()
+	id := s.StateID
+	mode := s.Mode
+	*blk = append(*blk, func(fr *frame, n int) {
+		tbl := fr.state[id].(*rt.JoinTableState).Table
+		probeRows := fr.vecs[prs].Ptr[:n]
+		sel := fr.auxSel(selAux)
+		var build [][]byte
+		if buildDst >= 0 {
+			build = fr.auxRows(rowAux)
+		}
+		var matched []bool
+		if matchedDst >= 0 {
+			mv := fr.vecs[matchedDst]
+			mv.Resize(0)
+			matched = mv.B
+		}
+		switch mode {
+		case ir.InnerJoin:
+			for i, pr := range probeRows {
+				key := rt.RowKey(pr)
+				it := tbl.Lookup(key, rt.Hash64(key))
+				for r := it.Next(); r != nil; r = it.Next() {
+					sel = append(sel, int32(i))
+					build = append(build, r)
+				}
+			}
+		case ir.SemiJoin:
+			for i, pr := range probeRows {
+				key := rt.RowKey(pr)
+				if tbl.Exists(key, rt.Hash64(key)) {
+					sel = append(sel, int32(i))
+				}
+			}
+		case ir.AntiJoin:
+			for i, pr := range probeRows {
+				key := rt.RowKey(pr)
+				if !tbl.Exists(key, rt.Hash64(key)) {
+					sel = append(sel, int32(i))
+				}
+			}
+		case ir.LeftOuterJoin:
+			for i, pr := range probeRows {
+				key := rt.RowKey(pr)
+				it := tbl.Lookup(key, rt.Hash64(key))
+				any := false
+				for r := it.Next(); r != nil; r = it.Next() {
+					any = true
+					sel = append(sel, int32(i))
+					build = append(build, r)
+					matched = append(matched, true)
+				}
+				if !any {
+					sel = append(sel, int32(i))
+					build = append(build, nil)
+					matched = append(matched, false)
+				}
+			}
+		}
+		fr.putAuxSel(selAux, sel)
+		out := len(sel)
+		if buildDst >= 0 {
+			fr.putAuxRows(rowAux, build)
+			bv := fr.vecs[buildDst]
+			bv.Ptr = build
+		}
+		if matchedDst >= 0 {
+			fr.vecs[matchedDst].B = matched
+		}
+		fr.vecs[prs].Gather(fr.vecs[probeDst], sel)
+		fr.ctx.Counters.VMOps += int64(n)
+		fr.ctx.Counters.HTProbes += int64(n)
+		fr.ctx.Counters.HTMatches += int64(out)
+		runBlock(body, fr, out)
+	})
+	return nil
+}

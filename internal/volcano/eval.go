@@ -1,0 +1,244 @@
+package volcano
+
+import (
+	"fmt"
+
+	"inkfuse/internal/algebra"
+	"inkfuse/internal/ir"
+	"inkfuse/internal/rt"
+	"inkfuse/internal/types"
+)
+
+// compile turns an expression into a row-at-a-time evaluator closure — the
+// classic interpreted-engine expression evaluation the paper contrasts with.
+func compile(e algebra.Expr, s types.Schema) (func([]any) any, error) {
+	switch x := e.(type) {
+	case algebra.ColRef:
+		i := s.IndexOf(x.Name)
+		if i < 0 {
+			return nil, fmt.Errorf("volcano: unknown column %q", x.Name)
+		}
+		return func(row []any) any { return row[i] }, nil
+
+	case algebra.Const:
+		v := constValue(x)
+		return func([]any) any { return v }, nil
+
+	case algebra.Bin:
+		l, err := compile(x.L, s)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compile(x.R, s)
+		if err != nil {
+			return nil, err
+		}
+		k, err := x.Kind(s)
+		if err != nil {
+			return nil, err
+		}
+		op := x.Op
+		switch k {
+		case types.Int32:
+			return func(row []any) any { return binI32(op, l(row).(int32), r(row).(int32)) }, nil
+		case types.Int64:
+			return func(row []any) any { return binI64(op, l(row).(int64), r(row).(int64)) }, nil
+		case types.Float64:
+			return func(row []any) any { return binF64(op, l(row).(float64), r(row).(float64)) }, nil
+		default:
+			return nil, fmt.Errorf("volcano: arithmetic on %v", k)
+		}
+
+	case algebra.CmpE:
+		l, err := compile(x.L, s)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compile(x.R, s)
+		if err != nil {
+			return nil, err
+		}
+		op := x.Op
+		return func(row []any) any { return cmpVals(op, l(row), r(row)) }, nil
+
+	case algebra.LogicE:
+		l, err := compile(x.L, s)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compile(x.R, s)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == ir.And {
+			return func(row []any) any { return l(row).(bool) && r(row).(bool) }, nil
+		}
+		return func(row []any) any { return l(row).(bool) || r(row).(bool) }, nil
+
+	case algebra.NotE:
+		in, err := compile(x.E, s)
+		if err != nil {
+			return nil, err
+		}
+		return func(row []any) any { return !in(row).(bool) }, nil
+
+	case algebra.LikeE:
+		in, err := compile(x.E, s)
+		if err != nil {
+			return nil, err
+		}
+		m := rt.NewLikeMatcher(x.Pattern)
+		neg := x.Negate
+		return func(row []any) any { return m.Match(in(row).(string)) != neg }, nil
+
+	case algebra.InListE:
+		in, err := compile(x.E, s)
+		if err != nil {
+			return nil, err
+		}
+		set := make(map[string]bool, len(x.Members))
+		for _, mem := range x.Members {
+			set[mem] = true
+		}
+		return func(row []any) any { return set[in(row).(string)] }, nil
+
+	case algebra.CaseE:
+		c, err := compile(x.Cond, s)
+		if err != nil {
+			return nil, err
+		}
+		t, err := compile(x.Then, s)
+		if err != nil {
+			return nil, err
+		}
+		els, err := compile(x.Else, s)
+		if err != nil {
+			return nil, err
+		}
+		return func(row []any) any {
+			if c(row).(bool) {
+				return t(row)
+			}
+			return els(row)
+		}, nil
+
+	case algebra.CastE:
+		in, err := compile(x.E, s)
+		if err != nil {
+			return nil, err
+		}
+		switch x.To {
+		case types.Int64:
+			return func(row []any) any { return toI64(in(row)) }, nil
+		case types.Float64:
+			return func(row []any) any { return toF64(in(row)) }, nil
+		case types.Int32:
+			return func(row []any) any { return int32(toI64(in(row))) }, nil
+		default:
+			return nil, fmt.Errorf("volcano: cast to %v", x.To)
+		}
+
+	default:
+		return nil, fmt.Errorf("volcano: cannot compile %T", e)
+	}
+}
+
+func constValue(c algebra.Const) any {
+	switch c.K {
+	case types.Bool:
+		return c.B
+	case types.Int32, types.Date:
+		return c.I32
+	case types.Int64:
+		return c.I64
+	case types.Float64:
+		return c.F64
+	case types.String:
+		return c.Str
+	default:
+		return nil
+	}
+}
+
+func binI32(op ir.BinOp, a, b int32) int32 {
+	switch op {
+	case ir.Add:
+		return a + b
+	case ir.Sub:
+		return a - b
+	case ir.Mul:
+		return a * b
+	default:
+		return a / b
+	}
+}
+
+func binI64(op ir.BinOp, a, b int64) int64 {
+	switch op {
+	case ir.Add:
+		return a + b
+	case ir.Sub:
+		return a - b
+	case ir.Mul:
+		return a * b
+	default:
+		return a / b
+	}
+}
+
+func binF64(op ir.BinOp, a, b float64) float64 {
+	switch op {
+	case ir.Add:
+		return a + b
+	case ir.Sub:
+		return a - b
+	case ir.Mul:
+		return a * b
+	default:
+		return a / b
+	}
+}
+
+func cmpVals(op ir.CmpOp, a, b any) bool {
+	c := compareAny(a, b)
+	switch op {
+	case ir.Lt:
+		return c < 0
+	case ir.Le:
+		return c <= 0
+	case ir.Eq:
+		return c == 0
+	case ir.Ne:
+		return c != 0
+	case ir.Ge:
+		return c >= 0
+	default:
+		return c > 0
+	}
+}
+
+func toI64(v any) int64 {
+	switch x := v.(type) {
+	case int32:
+		return int64(x)
+	case int64:
+		return x
+	case float64:
+		return int64(x)
+	default:
+		return 0
+	}
+}
+
+func toF64(v any) float64 {
+	switch x := v.(type) {
+	case int32:
+		return float64(x)
+	case int64:
+		return float64(x)
+	case float64:
+		return x
+	default:
+		return 0
+	}
+}

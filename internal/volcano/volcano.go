@@ -1,0 +1,444 @@
+// Package volcano is a classic tuple-at-a-time interpreter over the same
+// relational-algebra plans the Incremental Fusion engine executes. It plays
+// two roles: the traditional-interpreter baseline in the benchmarks
+// (paper §II-A), and an independent correctness oracle for the engine's
+// results — it shares no code with the suboperator lowering, the VM, or the
+// runtime hash tables.
+package volcano
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"inkfuse/internal/algebra"
+	"inkfuse/internal/ir"
+	"inkfuse/internal/storage"
+	"inkfuse/internal/types"
+)
+
+// Run evaluates a plan and materializes its result.
+func Run(root algebra.Node) (*storage.Chunk, error) {
+	rows, schema, err := eval(root)
+	if err != nil {
+		return nil, err
+	}
+	out := storage.NewChunk(schema.Kinds())
+	for _, r := range rows {
+		out.AppendRow(r...)
+	}
+	return out, nil
+}
+
+func eval(node algebra.Node) ([][]any, types.Schema, error) {
+	schema, err := node.Schema()
+	if err != nil {
+		return nil, nil, err
+	}
+	switch n := node.(type) {
+	case *algebra.Scan:
+		rows := make([][]any, n.Table.Rows())
+		cols := make([]*storage.Vector, len(schema))
+		for i, c := range schema {
+			cols[i] = n.Table.Col(c.Name)
+		}
+		for r := range rows {
+			row := make([]any, len(cols))
+			for i, c := range cols {
+				row[i] = c.Value(r)
+			}
+			rows[r] = row
+		}
+		return rows, schema, nil
+
+	case *algebra.Filter:
+		in, inSchema, err := eval(n.In)
+		if err != nil {
+			return nil, nil, err
+		}
+		pred, err := compile(n.Pred, inSchema)
+		if err != nil {
+			return nil, nil, err
+		}
+		var out [][]any
+		for _, row := range in {
+			if pred(row).(bool) {
+				out = append(out, row)
+			}
+		}
+		return out, schema, nil
+
+	case *algebra.Map:
+		in, inSchema, err := eval(n.In)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Expressions may reference columns added by earlier expressions.
+		cur := inSchema
+		var fns []func([]any) any
+		for _, ne := range n.Exprs {
+			fn, err := compile(ne.E, cur)
+			if err != nil {
+				return nil, nil, err
+			}
+			fns = append(fns, fn)
+			k, _ := ne.E.Kind(cur)
+			cur = append(cur, types.ColumnDesc{Name: ne.As, Kind: k})
+		}
+		out := make([][]any, len(in))
+		for r, row := range in {
+			nrow := append(append([]any{}, row...), make([]any, len(fns))...)
+			for i, fn := range fns {
+				nrow[len(row)+i] = fn(nrow[:len(row)+i])
+			}
+			out[r] = nrow
+		}
+		return out, schema, nil
+
+	case *algebra.Project:
+		in, inSchema, err := eval(n.In)
+		if err != nil {
+			return nil, nil, err
+		}
+		idx := make([]int, len(n.Cols))
+		for i, c := range n.Cols {
+			idx[i] = inSchema.MustIndexOf(c)
+		}
+		out := make([][]any, len(in))
+		for r, row := range in {
+			nrow := make([]any, len(idx))
+			for i, j := range idx {
+				nrow[i] = row[j]
+			}
+			out[r] = nrow
+		}
+		return out, schema, nil
+
+	case *algebra.HashJoin:
+		return evalJoin(n, schema)
+
+	case *algebra.GroupBy:
+		return evalGroupBy(n, schema)
+
+	case *algebra.OrderBy:
+		in, inSchema, err := eval(n.In)
+		if err != nil {
+			return nil, nil, err
+		}
+		idx := make([]int, len(n.Keys))
+		for i, k := range n.Keys {
+			idx[i] = inSchema.MustIndexOf(k)
+		}
+		sort.SliceStable(in, func(a, b int) bool {
+			for i, ci := range idx {
+				c := compareAny(in[a][ci], in[b][ci])
+				if c == 0 {
+					continue
+				}
+				if i < len(n.Desc) && n.Desc[i] {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		if n.Limit > 0 && n.Limit < len(in) {
+			in = in[:n.Limit]
+		}
+		return in, schema, nil
+
+	default:
+		return nil, nil, fmt.Errorf("volcano: cannot evaluate %T", node)
+	}
+}
+
+func evalJoin(n *algebra.HashJoin, schema types.Schema) ([][]any, types.Schema, error) {
+	build, bSchema, err := eval(n.Build)
+	if err != nil {
+		return nil, nil, err
+	}
+	probe, pSchema, err := eval(n.Probe)
+	if err != nil {
+		return nil, nil, err
+	}
+	bKey := make([]int, len(n.BuildKeys))
+	for i, k := range n.BuildKeys {
+		bKey[i] = bSchema.MustIndexOf(k)
+	}
+	pKey := make([]int, len(n.ProbeKeys))
+	for i, k := range n.ProbeKeys {
+		pKey[i] = pSchema.MustIndexOf(k)
+	}
+	carry := make([]int, len(n.BuildCols))
+	for i, c := range n.BuildCols {
+		carry[i] = bSchema.MustIndexOf(c)
+	}
+	ht := make(map[string][][]any, len(build))
+	for _, row := range build {
+		k := keyOf(row, bKey)
+		ht[k] = append(ht[k], row)
+	}
+	var out [][]any
+	for _, prow := range probe {
+		k := keyOf(prow, pKey)
+		matches := ht[k]
+		switch n.Mode {
+		case ir.SemiJoin:
+			if len(matches) > 0 {
+				out = append(out, prow)
+			}
+		case ir.AntiJoin:
+			if len(matches) == 0 {
+				out = append(out, prow)
+			}
+		case ir.InnerJoin:
+			for _, brow := range matches {
+				nrow := append([]any{}, prow...)
+				for _, ci := range carry {
+					nrow = append(nrow, brow[ci])
+				}
+				out = append(out, nrow)
+			}
+		case ir.LeftOuterJoin:
+			if len(matches) == 0 {
+				nrow := append([]any{}, prow...)
+				for _, ci := range carry {
+					nrow = append(nrow, zeroOf(bSchema[ci].Kind))
+				}
+				if n.MatchedAs != "" {
+					nrow = append(nrow, false)
+				}
+				out = append(out, nrow)
+				continue
+			}
+			for _, brow := range matches {
+				nrow := append([]any{}, prow...)
+				for _, ci := range carry {
+					nrow = append(nrow, brow[ci])
+				}
+				if n.MatchedAs != "" {
+					nrow = append(nrow, true)
+				}
+				out = append(out, nrow)
+			}
+		}
+	}
+	return out, schema, nil
+}
+
+type aggAcc struct {
+	key   []any
+	sumI  []int64
+	sumF  []float64
+	cnt   []int64
+	minF  []float64
+	maxF  []float64
+	minI  []int32
+	maxI  []int32
+	seen  []bool
+	count int64
+}
+
+func evalGroupBy(n *algebra.GroupBy, schema types.Schema) ([][]any, types.Schema, error) {
+	in, inSchema, err := eval(n.In)
+	if err != nil {
+		return nil, nil, err
+	}
+	keyIdx := make([]int, len(n.Keys))
+	noCase := make([]bool, len(n.Keys))
+	for i, k := range n.Keys {
+		keyIdx[i] = inSchema.MustIndexOf(k)
+		for _, nc := range n.NoCase {
+			noCase[i] = noCase[i] || nc == k
+		}
+	}
+	aggIdx := make([]int, len(n.Aggs))
+	for i, a := range n.Aggs {
+		aggIdx[i] = -1
+		if a.Col != "" {
+			aggIdx[i] = inSchema.MustIndexOf(a.Col)
+		}
+	}
+	na := len(n.Aggs)
+	groups := make(map[string]*aggAcc)
+	var order []string
+	for _, row := range in {
+		k := keyOfCollated(row, keyIdx, noCase)
+		acc, ok := groups[k]
+		if !ok {
+			acc = &aggAcc{
+				key:  extract(row, keyIdx),
+				sumI: make([]int64, na), sumF: make([]float64, na), cnt: make([]int64, na),
+				minF: make([]float64, na), maxF: make([]float64, na),
+				minI: make([]int32, na), maxI: make([]int32, na), seen: make([]bool, na),
+			}
+			groups[k] = acc
+			order = append(order, k)
+		}
+		acc.count++
+		for i, a := range n.Aggs {
+			switch a.Fn {
+			case algebra.AggSum, algebra.AggAvg:
+				switch v := row[aggIdx[i]].(type) {
+				case int64:
+					acc.sumI[i] += v
+				case float64:
+					acc.sumF[i] += v
+				}
+				acc.cnt[i]++
+			case algebra.AggCount:
+				acc.cnt[i]++
+			case algebra.AggCountIf:
+				if row[aggIdx[i]].(bool) {
+					acc.cnt[i]++
+				}
+			case algebra.AggMin, algebra.AggMax:
+				switch v := row[aggIdx[i]].(type) {
+				case float64:
+					if !acc.seen[i] {
+						acc.minF[i], acc.maxF[i] = v, v
+					} else {
+						acc.minF[i] = min(acc.minF[i], v)
+						acc.maxF[i] = max(acc.maxF[i], v)
+					}
+				case int32:
+					if !acc.seen[i] {
+						acc.minI[i], acc.maxI[i] = v, v
+					} else {
+						acc.minI[i] = min(acc.minI[i], v)
+						acc.maxI[i] = max(acc.maxI[i], v)
+					}
+				}
+				acc.seen[i] = true
+			}
+		}
+	}
+	if len(n.Keys) == 0 && len(order) == 0 {
+		// Keyless aggregation over empty input still yields one row.
+		groups[""] = &aggAcc{
+			key:  nil,
+			sumI: make([]int64, na), sumF: make([]float64, na), cnt: make([]int64, na),
+			minF: make([]float64, na), maxF: make([]float64, na),
+			minI: make([]int32, na), maxI: make([]int32, na), seen: make([]bool, na),
+		}
+		order = append(order, "")
+	}
+	var out [][]any
+	for _, k := range order {
+		acc := groups[k]
+		row := append([]any{}, acc.key...)
+		for i, a := range n.Aggs {
+			switch a.Fn {
+			case algebra.AggSum:
+				if inSchema[aggIdx[i]].Kind == types.Int64 {
+					row = append(row, acc.sumI[i])
+				} else {
+					row = append(row, acc.sumF[i])
+				}
+			case algebra.AggCount, algebra.AggCountIf:
+				row = append(row, acc.cnt[i])
+			case algebra.AggAvg:
+				row = append(row, acc.sumF[i]/float64(acc.cnt[i]))
+			case algebra.AggMin:
+				if k := inSchema[aggIdx[i]].Kind; k == types.Int32 || k == types.Date {
+					row = append(row, acc.minI[i])
+				} else {
+					row = append(row, acc.minF[i])
+				}
+			case algebra.AggMax:
+				if k := inSchema[aggIdx[i]].Kind; k == types.Int32 || k == types.Date {
+					row = append(row, acc.maxI[i])
+				} else {
+					row = append(row, acc.maxF[i])
+				}
+			}
+		}
+		out = append(out, row)
+	}
+	return out, schema, nil
+}
+
+func extract(row []any, idx []int) []any {
+	out := make([]any, len(idx))
+	for i, j := range idx {
+		out[i] = row[j]
+	}
+	return out
+}
+
+func keyOf(row []any, idx []int) string {
+	var b strings.Builder
+	for _, i := range idx {
+		fmt.Fprintf(&b, "%v\x00", row[i])
+	}
+	return b.String()
+}
+
+// keyOfCollated is keyOf with case-insensitive keys mapped to their
+// lowercase equivalence-class representative.
+func keyOfCollated(row []any, idx []int, noCase []bool) string {
+	var b strings.Builder
+	for j, i := range idx {
+		v := row[i]
+		if noCase[j] {
+			v = strings.ToLower(v.(string))
+		}
+		fmt.Fprintf(&b, "%v\x00", v)
+	}
+	return b.String()
+}
+
+func zeroOf(k types.Kind) any {
+	switch k {
+	case types.Bool:
+		return false
+	case types.Int32, types.Date:
+		return int32(0)
+	case types.Int64:
+		return int64(0)
+	case types.Float64:
+		return float64(0)
+	case types.String:
+		return ""
+	default:
+		return nil
+	}
+}
+
+func compareAny(a, b any) int {
+	switch av := a.(type) {
+	case int32:
+		return cmpOrd(av, b.(int32))
+	case int64:
+		return cmpOrd(av, b.(int64))
+	case float64:
+		return cmpOrd(av, b.(float64))
+	case string:
+		return cmpOrd(av, b.(string))
+	case bool:
+		bv := b.(bool)
+		switch {
+		case av == bv:
+			return 0
+		case bv:
+			return -1
+		default:
+			return 1
+		}
+	default:
+		return 0
+	}
+}
+
+func cmpOrd[T interface {
+	~int32 | ~int64 | ~float64 | ~string
+}](a, b T) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,186 @@
+package volcano
+
+import (
+	"testing"
+
+	"inkfuse/internal/algebra"
+	"inkfuse/internal/ir"
+	"inkfuse/internal/storage"
+	"inkfuse/internal/types"
+)
+
+func table() *storage.Table {
+	t := storage.NewTable("t", types.Schema{
+		{Name: "a", Kind: types.Int64},
+		{Name: "b", Kind: types.Float64},
+		{Name: "s", Kind: types.String},
+	})
+	t.AppendRow(int64(1), 1.5, "x")
+	t.AppendRow(int64(2), 2.5, "y")
+	t.AppendRow(int64(3), 3.5, "x")
+	return t
+}
+
+func TestScanFilterMapProject(t *testing.T) {
+	tbl := table()
+	node := algebra.NewProject(
+		algebra.NewMap(
+			algebra.NewFilter(algebra.NewScan(tbl, "a", "b", "s"),
+				algebra.Eq(algebra.Col("s"), algebra.Str("x"))),
+			algebra.NamedExpr{As: "c", E: algebra.Mul(algebra.Col("b"), algebra.F64(2))},
+		), "a", "c")
+	out, err := Run(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 2 || out.Row(0)[1] != 3.0 || out.Row(1)[0] != int64(3) {
+		t.Fatalf("rows: %v %v", out.Row(0), out.Row(1))
+	}
+}
+
+func TestGroupByAggregates(t *testing.T) {
+	tbl := table()
+	node := algebra.NewGroupBy(algebra.NewScan(tbl, "s", "b"), []string{"s"},
+		algebra.Sum("b", "sum"), algebra.Count("n"),
+		algebra.Avg("b", "avg"), algebra.MinOf("b", "min"), algebra.MaxOf("b", "max"))
+	out, err := Run(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 2 {
+		t.Fatalf("groups = %d", out.Rows())
+	}
+	for i := 0; i < out.Rows(); i++ {
+		r := out.Row(i)
+		if r[0] == "x" {
+			if r[1] != 5.0 || r[2] != int64(2) || r[3] != 2.5 || r[4] != 1.5 || r[5] != 3.5 {
+				t.Fatalf("x group: %v", r)
+			}
+		}
+	}
+}
+
+func TestKeylessAggOnEmptyInput(t *testing.T) {
+	tbl := table()
+	node := algebra.NewGroupBy(
+		algebra.NewFilter(algebra.NewScan(tbl, "b"), algebra.Gt(algebra.Col("b"), algebra.F64(1e9))),
+		nil, algebra.Sum("b", "s"), algebra.Count("n"))
+	out, err := Run(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 1 || out.Row(0)[0] != 0.0 || out.Row(0)[1] != int64(0) {
+		t.Fatalf("keyless empty agg: %v rows=%d", out.Row(0), out.Rows())
+	}
+}
+
+func TestJoinModes(t *testing.T) {
+	tbl := table()
+	dim := storage.NewTable("dim", types.Schema{
+		{Name: "k", Kind: types.Int64},
+		{Name: "v", Kind: types.String},
+	})
+	dim.AppendRow(int64(1), "one")
+	dim.AppendRow(int64(1), "uno")
+	dim.AppendRow(int64(3), "three")
+
+	inner := &algebra.HashJoin{
+		Build: algebra.NewScan(dim, "k", "v"), Probe: algebra.NewScan(tbl, "a", "b"),
+		BuildKeys: []string{"k"}, ProbeKeys: []string{"a"},
+		BuildCols: []string{"v"}, Mode: ir.InnerJoin,
+	}
+	out, err := Run(inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 3 { // a=1 matches twice, a=3 once
+		t.Fatalf("inner rows = %d", out.Rows())
+	}
+
+	semi := &algebra.HashJoin{
+		Build: algebra.NewScan(dim, "k"), Probe: algebra.NewScan(tbl, "a"),
+		BuildKeys: []string{"k"}, ProbeKeys: []string{"a"}, Mode: ir.SemiJoin,
+	}
+	out, err = Run(semi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 2 {
+		t.Fatalf("semi rows = %d", out.Rows())
+	}
+
+	outer := &algebra.HashJoin{
+		Build: algebra.NewScan(dim, "k", "v"), Probe: algebra.NewScan(tbl, "a"),
+		BuildKeys: []string{"k"}, ProbeKeys: []string{"a"},
+		BuildCols: []string{"v"}, Mode: ir.LeftOuterJoin, MatchedAs: "m",
+	}
+	out, err = Run(outer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 4 { // 2 + null + 1
+		t.Fatalf("outer rows = %d", out.Rows())
+	}
+	nulls := 0
+	for i := 0; i < out.Rows(); i++ {
+		r := out.Row(i)
+		if r[2] == false {
+			nulls++
+			if r[0] != int64(2) || r[1] != "" {
+				t.Fatalf("unmatched row: %v", r)
+			}
+		}
+	}
+	if nulls != 1 {
+		t.Fatalf("nulls = %d", nulls)
+	}
+}
+
+func TestOrderByLimit(t *testing.T) {
+	tbl := table()
+	node := algebra.NewOrderBy(algebra.NewScan(tbl, "a", "b"), []string{"b"}, []bool{true}, 2)
+	out, err := Run(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rows() != 2 || out.Row(0)[1] != 3.5 || out.Row(1)[1] != 2.5 {
+		t.Fatalf("order by: %v %v", out.Row(0), out.Row(1))
+	}
+}
+
+func TestExpressionSuite(t *testing.T) {
+	tbl := table()
+	node := algebra.NewProject(algebra.NewMap(algebra.NewScan(tbl, "a", "b", "s"),
+		algebra.NamedExpr{As: "e1", E: algebra.Case(
+			algebra.Or(algebra.Eq(algebra.Col("s"), algebra.Str("y")),
+				algebra.Gt(algebra.Col("a"), algebra.I64(2))),
+			algebra.Col("b"), algebra.F64(-1))},
+		algebra.NamedExpr{As: "e2", E: algebra.CastE{To: types.Float64, E: algebra.Col("a")}},
+		algebra.NamedExpr{As: "e3", E: algebra.Not(algebra.Like(algebra.Col("s"), "x%"))},
+		algebra.NamedExpr{As: "e4", E: algebra.In(algebra.Col("s"), "x", "z")},
+	), "e1", "e2", "e3", "e4")
+	out, err := Run(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 0: s=x, a=1: e1=-1, e2=1.0, e3=false, e4=true
+	r := out.Row(0)
+	if r[0] != -1.0 || r[1] != 1.0 || r[2] != false || r[3] != true {
+		t.Fatalf("row 0: %v", r)
+	}
+	// Row 1: s=y: e1=b=2.5, e3=true, e4=false
+	r = out.Row(1)
+	if r[0] != 2.5 || r[2] != true || r[3] != false {
+		t.Fatalf("row 1: %v", r)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	s := types.Schema{{Name: "s", Kind: types.String}}
+	if _, err := compile(algebra.Col("missing"), s); err == nil {
+		t.Fatal("missing column must fail")
+	}
+	if _, err := compile(algebra.Bin{Op: ir.Add, L: algebra.Col("s"), R: algebra.Col("s")}, s); err == nil {
+		t.Fatal("string arithmetic must fail")
+	}
+}

@@ -1,0 +1,169 @@
+package inkfuse
+
+import (
+	"inkfuse/internal/algebra"
+	"inkfuse/internal/core"
+	"inkfuse/internal/exec"
+	"inkfuse/internal/ir"
+	"inkfuse/internal/stats"
+	"inkfuse/internal/storage"
+	"inkfuse/internal/types"
+)
+
+// The public API is a thin facade: aliases over the engine's internal
+// packages so applications program against a single import.
+
+// Value types and schemas.
+type (
+	// Kind is a physical value type.
+	Kind = types.Kind
+	// ColumnDesc describes a schema column.
+	ColumnDesc = types.ColumnDesc
+	// Schema is an ordered list of columns.
+	Schema = types.Schema
+)
+
+// Kind constants.
+const (
+	Bool    = types.Bool
+	Int32   = types.Int32
+	Int64   = types.Int64
+	Float64 = types.Float64
+	Date    = types.Date
+	String  = types.String
+)
+
+// MkDate converts a calendar date to the engine's Date representation.
+func MkDate(y, m, d int) int32 { return types.MkDate(y, m, d) }
+
+// DateString renders a Date value as YYYY-MM-DD.
+func DateString(d int32) string { return types.DateString(d) }
+
+// Storage.
+type (
+	// Table is an in-memory columnar table.
+	Table = storage.Table
+	// Catalog maps table names to tables.
+	Catalog = storage.Catalog
+	// Chunk is a columnar batch of tuples (also the result format).
+	Chunk = storage.Chunk
+	// Vector is a typed column.
+	Vector = storage.Vector
+)
+
+// NewTable creates an empty columnar table.
+func NewTable(name string, schema Schema) *Table { return storage.NewTable(name, schema) }
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog { return storage.NewCatalog() }
+
+// Relational plans.
+type (
+	// Node is a relational operator.
+	Node = algebra.Node
+	// Expr is a scalar expression.
+	Expr = algebra.Expr
+	// NamedExpr is a computed column in a Map.
+	NamedExpr = algebra.NamedExpr
+	// AggSpec is one aggregate of a GroupBy.
+	AggSpec = algebra.AggSpec
+	// HashJoin joins two inputs (Build is inserted into the hash table).
+	HashJoin = algebra.HashJoin
+	// GroupBy aggregates (construct directly for case-insensitive keys via
+	// its NoCase field; NewGroupBy covers the common case).
+	GroupBy = algebra.GroupBy
+	// Plan is a lowered suboperator plan.
+	Plan = core.Plan
+)
+
+// Join modes.
+const (
+	InnerJoin     = ir.InnerJoin
+	SemiJoin      = ir.SemiJoin
+	LeftOuterJoin = ir.LeftOuterJoin
+	AntiJoin      = ir.AntiJoin
+)
+
+// Operator constructors.
+var (
+	NewScan    = algebra.NewScan
+	NewFilter  = algebra.NewFilter
+	NewMap     = algebra.NewMap
+	NewGroupBy = algebra.NewGroupBy
+	NewProject = algebra.NewProject
+	NewOrderBy = algebra.NewOrderBy
+)
+
+// Expression constructors.
+var (
+	Col     = algebra.Col
+	I32     = algebra.I32
+	I64     = algebra.I64
+	F64     = algebra.F64
+	Str     = algebra.Str
+	DateLit = algebra.DateLit
+	Add     = algebra.Add
+	Sub     = algebra.Sub
+	Mul     = algebra.Mul
+	Div     = algebra.Div
+	Lt      = algebra.Lt
+	Le      = algebra.Le
+	Eq      = algebra.Eq
+	Ne      = algebra.Ne
+	Ge      = algebra.Ge
+	Gt      = algebra.Gt
+	Between = algebra.Between
+	And     = algebra.And
+	Or      = algebra.Or
+	Not     = algebra.Not
+	Like    = algebra.Like
+	NotLike = algebra.NotLike
+	In      = algebra.In
+	Case    = algebra.Case
+	CastTo  = algebra.Cast
+)
+
+// Aggregate constructors.
+var (
+	Sum     = algebra.Sum
+	Count   = algebra.Count
+	CountIf = algebra.CountIf
+	MinOf   = algebra.MinOf
+	MaxOf   = algebra.MaxOf
+	Avg     = algebra.Avg
+)
+
+// Execution.
+type (
+	// Options configures execution (backend, workers, chunk/morsel sizes,
+	// compile-latency model).
+	Options = exec.Options
+	// Backend selects the execution strategy.
+	Backend = exec.Backend
+	// LatencyModel simulates machine-code compilation latency.
+	LatencyModel = exec.LatencyModel
+	// Result is a completed query with its statistics.
+	Result = exec.Result
+	// Stats are the engine-internal execution counters.
+	Stats = stats.Counters
+)
+
+// Backends.
+const (
+	BackendVectorized = exec.BackendVectorized
+	BackendCompiling  = exec.BackendCompiling
+	BackendROF        = exec.BackendROF
+	BackendHybrid     = exec.BackendHybrid
+)
+
+// Latency models (see DESIGN.md §2 for calibration).
+var (
+	LatencyC        = exec.LatencyC
+	LatencyLLVM     = exec.LatencyLLVM
+	LatencyFastPath = exec.LatencyFastPath
+	LatencyNone     = exec.LatencyNone
+)
+
+// ParseBackend converts a backend name ("vectorized", "compiling", "rof",
+// "hybrid") to a Backend.
+func ParseBackend(s string) (Backend, error) { return exec.ParseBackend(s) }
