@@ -43,7 +43,7 @@ var benchCat = sync.OnceValue(func() *storage.Catalog {
 
 func runQuery(b *testing.B, cat *storage.Catalog, q string, sys benchkit.System) {
 	b.Helper()
-	cell, err := benchkit.RunOnce(cat, q, sys, 0)
+	cell, err := benchkit.RunOnce(cat, q, sys, benchkit.Config{})
 	if err != nil {
 		b.Fatal(err)
 	}

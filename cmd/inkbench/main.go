@@ -28,9 +28,11 @@ func main() {
 	runs := flag.Int("runs", 3, "timing repetitions (median reported)")
 	workers := flag.Int("workers", 0, "worker threads (0 = GOMAXPROCS)")
 	queries := flag.String("queries", "", "comma-separated query subset (default: all eight)")
+	timeout := flag.Duration("timeout", 0, "per-query deadline (e.g. 30s); expired queries fail with a typed error (0 = none)")
+	memBudget := flag.Int64("mem-budget", 0, "per-query runtime-state budget in bytes; exceeding it fails the query instead of OOM-ing (0 = unlimited)")
 	flag.Parse()
 
-	cfg := benchkit.Config{SF: *sf, Runs: *runs, Workers: *workers}
+	cfg := benchkit.Config{SF: *sf, Runs: *runs, Workers: *workers, Timeout: *timeout, MemBudget: *memBudget}
 	if *queries != "" {
 		cfg.Queries = strings.Split(*queries, ",")
 	}

@@ -23,6 +23,8 @@
 package inkfuse
 
 import (
+	"context"
+
 	"inkfuse/internal/algebra"
 	"inkfuse/internal/core"
 	"inkfuse/internal/exec"
@@ -35,11 +37,26 @@ import (
 
 // Run lowers a relational plan into suboperator pipelines and executes it.
 func Run(node Node, name string, opts Options) (*Result, error) {
+	return RunContext(context.Background(), node, name, opts)
+}
+
+// RunContext is Run under a context: cancellation and deadlines stop the
+// query at morsel granularity and the returned error wraps ErrCanceled or
+// ErrDeadlineExceeded. Combine with Options.MemoryBudget for fully bounded
+// queries:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+//	defer cancel()
+//	res, err := inkfuse.RunContext(ctx, plan, "q", inkfuse.Options{
+//	    Backend:      inkfuse.BackendHybrid,
+//	    MemoryBudget: 256 << 20, // fail (not OOM) past 256 MiB of query state
+//	})
+func RunContext(ctx context.Context, node Node, name string, opts Options) (*Result, error) {
 	plan, err := algebra.Lower(node, name)
 	if err != nil {
 		return nil, err
 	}
-	return exec.Execute(plan, opts)
+	return exec.ExecuteContext(ctx, plan, opts)
 }
 
 // Lower exposes the plan lowering step (relational algebra → suboperator
@@ -53,6 +70,11 @@ func Lower(node Node, name string) (*Plan, error) {
 // lower again instead.
 func Execute(plan *Plan, opts Options) (*Result, error) {
 	return exec.Execute(plan, opts)
+}
+
+// ExecuteContext is Execute under a context (see RunContext).
+func ExecuteContext(ctx context.Context, plan *Plan, opts Options) (*Result, error) {
+	return exec.ExecuteContext(ctx, plan, opts)
 }
 
 // RunVolcano executes the plan on the tuple-at-a-time Volcano reference

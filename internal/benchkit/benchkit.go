@@ -7,6 +7,7 @@
 package benchkit
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -28,6 +29,11 @@ type Config struct {
 	Workers int
 	Runs    int // timing repetitions; the median is reported
 	Queries []string
+	// Timeout bounds each query execution (0 = none); expired queries fail
+	// with exec.ErrDeadlineExceeded.
+	Timeout time.Duration
+	// MemBudget caps each query's runtime-state bytes (0 = unlimited).
+	MemBudget int64
 }
 
 // WithDefaults fills unset fields.
@@ -87,8 +93,9 @@ var (
 
 // RunOnce executes one query on one system against a prepared catalog,
 // lowering the plan fresh (cold compile, as each query enters the system
-// anew in the paper's setup).
-func RunOnce(cat *storage.Catalog, query string, sys System, workers int) (Cell, error) {
+// anew in the paper's setup). Config.Timeout and Config.MemBudget bound the
+// run; Workers, Timeout and MemBudget are the only Config fields used.
+func RunOnce(cat *storage.Catalog, query string, sys System, cfg Config) (Cell, error) {
 	node, err := tpch.Build(cat, query)
 	if err != nil {
 		return Cell{}, err
@@ -105,11 +112,18 @@ func RunOnce(cat *storage.Catalog, query string, sys System, workers int) (Cell,
 	if err != nil {
 		return Cell{}, err
 	}
+	ctx := context.Background()
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+	}
 	lat := sys.Latency
-	res, err := exec.Execute(plan, exec.Options{
-		Backend: sys.Backend,
-		Workers: workers,
-		Latency: &lat,
+	res, err := exec.ExecuteContext(ctx, plan, exec.Options{
+		Backend:      sys.Backend,
+		Workers:      cfg.Workers,
+		Latency:      &lat,
+		MemoryBudget: cfg.MemBudget,
 	})
 	if err != nil {
 		return Cell{}, err
@@ -126,12 +140,12 @@ func RunOnce(cat *storage.Catalog, query string, sys System, workers int) (Cell,
 // cache instantiation) that would otherwise be charged to whichever system
 // happens to run first.
 func Measure(cat *storage.Catalog, query string, sys System, cfg Config) (Cell, error) {
-	if _, err := RunOnce(cat, query, sys, cfg.Workers); err != nil {
+	if _, err := RunOnce(cat, query, sys, cfg); err != nil {
 		return Cell{}, err
 	}
 	cells := make([]Cell, 0, cfg.Runs)
 	for i := 0; i < cfg.Runs; i++ {
-		c, err := RunOnce(cat, query, sys, cfg.Workers)
+		c, err := RunOnce(cat, query, sys, cfg)
 		if err != nil {
 			return Cell{}, err
 		}

@@ -6,10 +6,12 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"inkfuse/internal/core"
+	"inkfuse/internal/faultinject"
 	"inkfuse/internal/ir"
 	"inkfuse/internal/vm"
 )
@@ -106,10 +108,14 @@ type fusedStep struct {
 }
 
 // compileStep runs the compilation stack over a suboperator sequence and
-// closure-compiles the result, sleeping out the simulated machine-code
-// latency.
-func compileStep(name string, source []*core.IU, ops []core.SubOp, emit []*core.IU, lat LatencyModel) (*fusedStep, time.Duration, error) {
+// closure-compiles the result, waiting out the simulated machine-code
+// latency. The wait is interruptible: a canceled or expired context aborts
+// it with the typed cancellation error.
+func compileStep(ctx context.Context, name string, source []*core.IU, ops []core.SubOp, emit []*core.IU, lat LatencyModel) (*fusedStep, time.Duration, error) {
 	start := time.Now()
+	if err := faultinject.Inject(faultinject.ExecCompile); err != nil {
+		return nil, 0, fmt.Errorf("compile %s: %w", name, err)
+	}
 	fn, states, err := core.GenStep(name, source, ops, emit)
 	if err != nil {
 		return nil, 0, err
@@ -121,8 +127,14 @@ func compileStep(name string, source []*core.IU, ops []core.SubOp, emit []*core.
 	if err != nil {
 		return nil, 0, err
 	}
-	if d := lat.Delay(fn); d > 0 {
-		time.Sleep(d)
+	if d := lat.Delay(fn) + faultinject.Delay(faultinject.ExecCompileDelay); d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			return nil, time.Since(start), ctxCause(ctx.Err())
+		}
 	}
 	return &fusedStep{prog: prog, states: states, fn: fn}, time.Since(start), nil
 }

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -271,7 +272,7 @@ func TestHybridCompilesAllPipelinesUpFront(t *testing.T) {
 		t.Fatal(err)
 	}
 	lat := LatencyNone
-	bgs := startHybridCompiles(plan.Pipelines, lat, 0)
+	bgs := startHybridCompiles(context.Background(), plan.Pipelines, lat, 0)
 	defer func() {
 		for _, h := range bgs {
 			h.abandon()
@@ -289,7 +290,7 @@ func TestHybridCompilesAllPipelinesUpFront(t *testing.T) {
 
 	// And the job cap serializes without deadlocking or losing jobs.
 	plan2, _ := algebra.Lower(node, "upfront2")
-	bgs2 := startHybridCompiles(plan2.Pipelines, lat, 1)
+	bgs2 := startHybridCompiles(context.Background(), plan2.Pipelines, lat, 1)
 	for i, h := range bgs2 {
 		<-h.done
 		if h.art.Load() == nil {

@@ -1,13 +1,16 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"inkfuse/internal/core"
+	"inkfuse/internal/faultinject"
 	"inkfuse/internal/interp"
 	"inkfuse/internal/rt"
 	"inkfuse/internal/stats"
@@ -28,6 +31,10 @@ type Options struct {
 	// number of concurrent compilation jobs", paper §V-B). 0 = one job per
 	// pipeline, the paper's default.
 	CompileJobs int
+	// MemoryBudget caps the bytes of query-owned runtime state (hash-table
+	// arenas and bookkeeping). A query that crosses the cap fails with
+	// ErrMemoryBudget instead of pressuring the process. 0 = unlimited.
+	MemoryBudget int64
 }
 
 func (o Options) withDefaults() Options {
@@ -54,23 +61,92 @@ type Result struct {
 	Stats stats.Counters
 	// Wall is the end-to-end execution time.
 	Wall time.Duration
+	// Warnings reports non-fatal degradations (e.g. a hybrid background
+	// compile failed and the pipeline ran vectorized-only).
+	Warnings []error
 }
 
 // Rows returns the number of result rows.
-func (r *Result) Rows() int { return r.Chunk.Rows() }
+func (r *Result) Rows() int {
+	if r.Chunk == nil {
+		return 0
+	}
+	return r.Chunk.Rows()
+}
 
 // runner executes one pipeline's morsels for one backend.
 type runner interface {
 	runMorsel(w int, ctx *vm.Ctx, src []*storage.Vector, n int, out *storage.Chunk)
 	// finish is called once the pipeline completes (cancels background work)
 	// and returns compile statistics to fold into the query stats.
-	finish() (compileTime, compileWait time.Duration)
+	finish() finishInfo
+}
+
+// finishInfo is the per-pipeline accounting a runner hands back.
+type finishInfo struct {
+	compileTime, compileWait time.Duration
+	compileErrors            int64
+	// degraded is the permanent background-compile failure of a hybrid
+	// pipeline (nil otherwise); surfaced as a Result warning.
+	degraded error
+}
+
+// queryState is the shared lifecycle of one executing query: the first
+// failure wins, every later morsel pull observes it and drains cleanly.
+type queryState struct {
+	ctx  context.Context
+	down atomic.Bool
+
+	mu  sync.Mutex
+	err error
+}
+
+// fail records the query's failure; the first error is kept.
+func (q *queryState) fail(err error) {
+	q.mu.Lock()
+	if q.err == nil {
+		q.err = err
+	}
+	q.mu.Unlock()
+	q.down.Store(true)
+}
+
+// stopped reports whether workers must stop pulling morsels, folding context
+// cancellation into the failure state.
+func (q *queryState) stopped() bool {
+	if q.down.Load() {
+		return true
+	}
+	if err := q.ctx.Err(); err != nil {
+		q.fail(ctxCause(err))
+		return true
+	}
+	return false
+}
+
+// failure returns the recorded error, if any.
+func (q *queryState) failure() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.err
 }
 
 // Execute runs a lowered plan and returns its result.
 func Execute(plan *core.Plan, opts Options) (*Result, error) {
+	return ExecuteContext(context.Background(), plan, opts)
+}
+
+// ExecuteContext runs a lowered plan under a context. Cancellation and
+// deadlines are observed at morsel granularity and inside compilation waits;
+// the returned error wraps ErrCanceled / ErrDeadlineExceeded. Panics in
+// query code and memory-budget violations fail only this query (typed as
+// ErrPanic / ErrMemoryBudget inside a *QueryError): workers drain, the
+// process and subsequent queries keep running. On failure the returned
+// *Result is non-nil with Stats (no Chunk) for diagnostics.
+func ExecuteContext(ctx context.Context, plan *core.Plan, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	start := time.Now()
+	qs := &queryState{ctx: ctx}
 
 	var reg *interp.Registry
 	if opts.Backend != BackendCompiling && opts.Backend != BackendROF {
@@ -80,20 +156,45 @@ func Execute(plan *core.Plan, opts Options) (*Result, error) {
 		}
 	}
 
+	// The memory budget covers every table the query builds: the join tables
+	// created at lowering, the workers' pre-aggregation tables (wired through
+	// vm.Ctx), and the merged globals built at finalization.
+	var budget *rt.MemBudget
+	if opts.MemoryBudget > 0 {
+		budget = rt.NewMemBudget(opts.MemoryBudget)
+		for _, pipe := range plan.Pipelines {
+			for _, js := range pipe.SealJoins {
+				js.Table.SetBudget(budget)
+			}
+		}
+	}
+
 	ctxs := make([]*vm.Ctx, opts.Workers)
 	for i := range ctxs {
 		ctxs[i] = vm.NewCtx()
+		ctxs[i].Budget = budget
 	}
 
 	var res stats.Counters
 	var finalChunks []*storage.Chunk
+	var warnings []error
+
+	// failed builds the diagnostic result returned alongside a query error:
+	// stats are merged so recovered-panic and compile-error counts survive.
+	failed := func(err error) (*Result, error) {
+		for _, c := range ctxs {
+			res.Add(&c.Counters)
+		}
+		res.MemPeakBytes = budget.Peak()
+		return &Result{Cols: plan.ColNames, Stats: res, Wall: time.Since(start), Warnings: warnings}, err
+	}
 
 	// The hybrid backend starts background compilation for every pipeline as
 	// soon as the query enters the system (paper §V-B): by the time a later
 	// pipeline runs, its fused code is usually already waiting.
 	var bgs []*hybridCompile
 	if opts.Backend == BackendHybrid {
-		bgs = startHybridCompiles(plan.Pipelines, *opts.Latency, opts.CompileJobs)
+		bgs = startHybridCompiles(ctx, plan.Pipelines, *opts.Latency, opts.CompileJobs)
 		defer func() {
 			for _, h := range bgs {
 				h.abandon()
@@ -102,17 +203,20 @@ func Execute(plan *core.Plan, opts Options) (*Result, error) {
 	}
 
 	for pi, pipe := range plan.Pipelines {
+		if qs.stopped() {
+			return failed(qs.failure())
+		}
 		binder, err := bindSource(pipe)
 		if err != nil {
-			return nil, fmt.Errorf("exec: %s/%s: %w", plan.Name, pipe.Name, err)
+			return failed(fmt.Errorf("exec: %s/%s: %w", plan.Name, pipe.Name, err))
 		}
 		var bg *hybridCompile
 		if bgs != nil {
 			bg = bgs[pi]
 		}
-		r, err := newRunner(pipe, opts, reg, bg)
+		r, err := newRunner(ctx, pipe, opts, reg, bg)
 		if err != nil {
-			return nil, fmt.Errorf("exec: %s/%s: %w", plan.Name, pipe.Name, err)
+			return failed(fmt.Errorf("exec: %s/%s: %w", plan.Name, pipe.Name, err))
 		}
 
 		var outs []*storage.Chunk
@@ -130,39 +234,57 @@ func Execute(plan *core.Plan, opts Options) (*Result, error) {
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				ctx := ctxs[w]
+				wctx := ctxs[w]
 				var out *storage.Chunk
 				if outs != nil {
 					out = outs[w]
 				}
 				for {
+					if qs.stopped() {
+						return
+					}
 					i := int(next.Add(1)) - 1
 					if i >= len(morsels) {
 						return
 					}
-					src, n := binder.bind(morsels[i])
-					r.runMorsel(w, ctx, src, n, out)
-					ctx.Counters.Tuples += int64(n)
+					if err := runMorselSafe(plan.Name, pipe.Name, opts.Backend, r, w, i, wctx, binder, morsels[i], out); err != nil {
+						qs.fail(err)
+						return
+					}
 				}
 			}(w)
 		}
 		wg.Wait()
 
-		ct, cw := r.finish()
-		res.CompileTime += ct
-		res.CompileWait += cw
+		fi := r.finish()
+		res.CompileTime += fi.compileTime
+		res.CompileWait += fi.compileWait
+		res.CompileErrors += fi.compileErrors
+		if fi.degraded != nil {
+			warnings = append(warnings, fmt.Errorf(
+				"exec: %s/%s: background compile failed, pipeline served by the vectorized interpreter: %w",
+				plan.Name, pipe.Name, fi.degraded))
+		}
 
-		if err := finalizePipeline(pipe, ctxs); err != nil {
-			return nil, err
+		if err := qs.failure(); err != nil {
+			return failed(err)
+		}
+		if err := finalizeSafe(plan.Name, pipe, opts.Backend, ctxs, budget); err != nil {
+			return failed(err)
 		}
 		if pipe.Result != nil {
 			finalChunks = outs
 		}
 	}
 
+	if qs.stopped() {
+		return failed(qs.failure())
+	}
+
 	for _, ctx := range ctxs {
 		res.Add(&ctx.Counters)
 	}
+	res.MemPeakBytes = budget.Peak()
 
 	kinds, err := plan.FinalKinds()
 	if err != nil {
@@ -175,7 +297,56 @@ func Execute(plan *core.Plan, opts Options) (*Result, error) {
 	if plan.Sort != nil {
 		out = sortChunk(out, plan.Sort)
 	}
-	return &Result{Cols: plan.ColNames, Chunk: out, Stats: res, Wall: time.Since(start)}, nil
+	return &Result{Cols: plan.ColNames, Chunk: out, Stats: res, Wall: time.Since(start), Warnings: warnings}, nil
+}
+
+// runMorselSafe executes one morsel with panic isolation: a panic anywhere
+// below (generated code, primitives, hash tables, the budget) is converted
+// into a located *QueryError instead of taking the process down.
+func runMorselSafe(query, pipeName string, backend Backend, r runner, w, mi int,
+	wctx *vm.Ctx, binder sourceBinder, m storage.Morsel, out *storage.Chunk) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			wctx.Counters.PanicsRecovered++
+			qe := &QueryError{
+				Query: query, Pipeline: pipeName, Backend: backend,
+				Worker: w, Morsel: mi, Err: panicCause(rec),
+			}
+			if _, budget := rec.(*rt.BudgetExceeded); !budget {
+				qe.Stack = string(debug.Stack())
+			}
+			err = qe
+		}
+	}()
+	if err := faultinject.Inject(faultinject.ExecMorsel); err != nil {
+		panic(err)
+	}
+	src, n := binder.bind(m)
+	r.runMorsel(w, wctx, src, n, out)
+	wctx.Counters.Tuples += int64(n)
+	return nil
+}
+
+// finalizeSafe runs pipeline finalization (join sealing, aggregate merging)
+// with the same panic isolation as the morsel loop.
+func finalizeSafe(query string, pipe *core.Pipeline, backend Backend, ctxs []*vm.Ctx, budget *rt.MemBudget) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			ctxs[0].Counters.PanicsRecovered++
+			qe := &QueryError{
+				Query: query, Pipeline: pipe.Name, Backend: backend,
+				Worker: -1, Morsel: -1, Err: panicCause(rec),
+			}
+			if _, isBudget := rec.(*rt.BudgetExceeded); !isBudget {
+				qe.Stack = string(debug.Stack())
+			}
+			err = qe
+		}
+	}()
+	if err := faultinject.Inject(faultinject.ExecFinalize); err != nil {
+		panic(err)
+	}
+	return finalizePipeline(pipe, ctxs, budget)
 }
 
 // sourceBinder adapts a pipeline source to morsel-range vector bindings.
@@ -218,7 +389,7 @@ func bindSource(pipe *core.Pipeline) (sourceBinder, error) {
 	}
 }
 
-func finalizePipeline(pipe *core.Pipeline, ctxs []*vm.Ctx) error {
+func finalizePipeline(pipe *core.Pipeline, ctxs []*vm.Ctx, budget *rt.MemBudget) error {
 	for _, js := range pipe.SealJoins {
 		js.Table.Seal()
 	}
@@ -240,10 +411,12 @@ func finalizePipeline(pipe *core.Pipeline, ctxs []*vm.Ctx) error {
 		switch len(parts) {
 		case 0:
 			global = fin.State.NewInstance()
+			global.SetBudget(budget)
 		case 1:
 			global = parts[0]
 		default:
 			global = fin.State.NewInstance()
+			global.SetBudget(budget)
 			for _, p := range parts {
 				fin.State.MergeInto(global, p)
 			}

@@ -1,25 +1,27 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
 
 	"inkfuse/internal/core"
+	"inkfuse/internal/faultinject"
 	"inkfuse/internal/interp"
 	"inkfuse/internal/storage"
 	"inkfuse/internal/types"
 	"inkfuse/internal/vm"
 )
 
-func newRunner(pipe *core.Pipeline, opts Options, reg *interp.Registry, bg *hybridCompile) (runner, error) {
+func newRunner(ctx context.Context, pipe *core.Pipeline, opts Options, reg *interp.Registry, bg *hybridCompile) (runner, error) {
 	switch opts.Backend {
 	case BackendVectorized:
 		return newVectorizedRunner(pipe, opts, reg)
 	case BackendCompiling:
-		return newCompilingRunner(pipe, opts)
+		return newCompilingRunner(ctx, pipe, opts)
 	case BackendROF:
-		return newROFRunner(pipe, opts)
+		return newROFRunner(ctx, pipe, opts)
 	case BackendHybrid:
 		return newHybridRunner(pipe, opts, reg, bg)
 	default:
@@ -60,7 +62,7 @@ func (r *vectorizedRunner) runMorsel(w int, ctx *vm.Ctx, src []*storage.Vector, 
 	}
 }
 
-func (r *vectorizedRunner) finish() (time.Duration, time.Duration) { return 0, 0 }
+func (r *vectorizedRunner) finish() finishInfo { return finishInfo{} }
 
 // ---------------------------------------------------------------------------
 // Compiling backend: fuse the whole pipeline, wait for the code.
@@ -70,8 +72,8 @@ type compilingRunner struct {
 	wait time.Duration
 }
 
-func newCompilingRunner(pipe *core.Pipeline, opts Options) (*compilingRunner, error) {
-	art, dur, err := compileStep("pipeline_"+pipe.Name, pipe.Source.SourceIUs(), pipe.Ops, pipe.Result, *opts.Latency)
+func newCompilingRunner(ctx context.Context, pipe *core.Pipeline, opts Options) (*compilingRunner, error) {
+	art, dur, err := compileStep(ctx, "pipeline_"+pipe.Name, pipe.Source.SourceIUs(), pipe.Ops, pipe.Result, *opts.Latency)
 	if err != nil {
 		return nil, err
 	}
@@ -86,7 +88,9 @@ func (r *compilingRunner) runMorsel(w int, ctx *vm.Ctx, src []*storage.Vector, n
 	ctx.Counters.MorselsCompiled++
 }
 
-func (r *compilingRunner) finish() (time.Duration, time.Duration) { return r.wait, r.wait }
+func (r *compilingRunner) finish() finishInfo {
+	return finishInfo{compileTime: r.wait, compileWait: r.wait}
+}
 
 // ---------------------------------------------------------------------------
 // ROF backend: split before every probe, prefetch the staged chunk.
@@ -98,7 +102,7 @@ type rofRunner struct {
 	wait      time.Duration
 }
 
-func newROFRunner(pipe *core.Pipeline, opts Options) (*rofRunner, error) {
+func newROFRunner(ctx context.Context, pipe *core.Pipeline, opts Options) (*rofRunner, error) {
 	// Insert a prefetch suboperator before every probe and split there.
 	var ops []core.SubOp
 	for _, op := range pipe.Ops {
@@ -117,7 +121,7 @@ func newROFRunner(pipe *core.Pipeline, opts Options) (*rofRunner, error) {
 	r := &rofRunner{chunkSize: opts.ChunkSize}
 	var wait time.Duration
 	for si, st := range steps {
-		art, dur, err := compileStep(fmt.Sprintf("rof_%s_s%d", pipe.Name, si), st.source, st.ops, st.emit, *opts.Latency)
+		art, dur, err := compileStep(ctx, fmt.Sprintf("rof_%s_s%d", pipe.Name, si), st.source, st.ops, st.emit, *opts.Latency)
 		if err != nil {
 			return nil, err
 		}
@@ -164,7 +168,9 @@ func (r *rofRunner) runMorsel(w int, ctx *vm.Ctx, src []*storage.Vector, n int, 
 	ctx.Counters.MorselsCompiled++
 }
 
-func (r *rofRunner) finish() (time.Duration, time.Duration) { return r.wait, r.wait }
+func (r *rofRunner) finish() finishInfo {
+	return finishInfo{compileTime: r.wait, compileWait: r.wait}
+}
 
 // iuKinds projects the kinds of a staging buffer's columns.
 func iuKinds(ius []*core.IU) []types.Kind {
@@ -184,17 +190,29 @@ func iuKinds(ius []*core.IU) []types.Kind {
 // query start when the query starts (paper §V-B: "InkFuse uses one thread
 // per pipeline for background compilation"), bounded by Options.CompileJobs.
 type hybridCompile struct {
-	art     atomic.Pointer[fusedStep]
+	art atomic.Pointer[fusedStep]
+	// failed marks the job permanently dead; err (written before the store,
+	// read after the load) carries the compile failure. A failed job is never
+	// retried — the pipeline degrades to the vectorized interpreter, which is
+	// the hybrid design's always-available fallback path.
+	failed  atomic.Bool
+	err     error
 	cancel  chan struct{}
 	done    chan struct{}
 	compile time.Duration
 }
 
+// fail records a permanent compile failure on the job.
+func (h *hybridCompile) fail(err error) {
+	h.err = err
+	h.failed.Store(true)
+}
+
 // startHybridCompiles launches the background compilation jobs for every
 // pipeline of the plan. The returned handles are wired into the hybrid
-// runners pipeline by pipeline; cancelAll abandons whatever has not finished
-// when the query completes.
-func startHybridCompiles(pipes []*core.Pipeline, lat LatencyModel, jobs int) []*hybridCompile {
+// runners pipeline by pipeline; abandon cancels whatever has not finished
+// when the query completes, as does cancellation of the query context.
+func startHybridCompiles(ctx context.Context, pipes []*core.Pipeline, lat LatencyModel, jobs int) []*hybridCompile {
 	if jobs <= 0 {
 		jobs = len(pipes) // paper default: one compilation thread per pipeline
 	}
@@ -210,25 +228,35 @@ func startHybridCompiles(pipes []*core.Pipeline, lat LatencyModel, jobs int) []*
 				defer func() { <-sem }()
 			case <-h.cancel:
 				return
+			case <-ctx.Done():
+				return
 			}
 			start := time.Now()
+			if err := faultinject.Inject(faultinject.ExecHybridCompile); err != nil {
+				h.fail(err)
+				return
+			}
 			fn, states, err := core.GenStep("pipeline_"+pipe.Name, pipe.Source.SourceIUs(), pipe.Ops, pipe.Result)
 			if err != nil {
+				h.fail(err)
 				return
 			}
 			prog, err := vm.Compile(fn)
 			if err != nil {
+				h.fail(err)
 				return
 			}
 			// Interruptible machine-code latency: one timer wake-up (repeated
 			// short sleeps starve under a busy single-P scheduler), abandoned
-			// if the query finishes first (paper §V-B).
-			if d := lat.Delay(fn); d > 0 {
+			// if the query finishes first (paper §V-B) or its context dies.
+			if d := lat.Delay(fn) + faultinject.Delay(faultinject.ExecHybridCompileDelay); d > 0 {
 				timer := time.NewTimer(d)
 				defer timer.Stop()
 				select {
 				case <-timer.C:
 				case <-h.cancel:
+					return
+				case <-ctx.Done():
 					return
 				}
 			}
@@ -254,7 +282,14 @@ type hybridRunner struct {
 
 type hybridWorker struct {
 	vecTput, jitTput float64
-	morsels          int
+	// vecMeasured / jitMeasured distinguish "never sampled" from a measured
+	// throughput (a plain zero would conflate the two and let zero-row
+	// morsels poison the EWMA seed).
+	vecMeasured, jitMeasured bool
+	// bgDead caches a permanent background-compile failure so the worker
+	// stops polling the dead job's atomics every morsel.
+	bgDead  bool
+	morsels int
 }
 
 const hybridDecay = 0.3 // EWMA weight of the newest morsel
@@ -276,11 +311,20 @@ func newHybridRunner(pipe *core.Pipeline, opts Options, reg *interp.Registry, bg
 
 func (h *hybridRunner) runMorsel(w int, ctx *vm.Ctx, src []*storage.Vector, n int, out *storage.Chunk) {
 	ws := &h.workers[w]
-	art := h.bg.art.Load()
+	var art *fusedStep
+	if !ws.bgDead {
+		if h.bg.failed.Load() {
+			// Permanent compile failure: this worker degrades to the
+			// vectorized interpreter and stops polling the dead job.
+			ws.bgDead = true
+		} else {
+			art = h.bg.art.Load()
+		}
+	}
 	useJIT := false
 	if art != nil {
 		switch {
-		case ws.jitTput == 0:
+		case !ws.jitMeasured:
 			// Freshly ready code: measure it on the next morsel rather than
 			// waiting for the exploration slot to come around — on short
 			// queries the compiled code would otherwise never be sampled.
@@ -304,30 +348,37 @@ func (h *hybridRunner) runMorsel(w int, ctx *vm.Ctx, src []*storage.Vector, n in
 		ctx.Counters.MorselsVectorized++
 	}
 	el := time.Since(start).Seconds()
-	if el > 0 {
+	// Skip empty morsels: a zero-row sample measures scheduling noise, not
+	// tuple throughput, and would skew the EWMA toward zero.
+	if n > 0 && el > 0 {
 		tput := float64(n) / el
 		if useJIT {
-			ws.jitTput = ewma(ws.jitTput, tput)
+			ws.jitTput = ewma(ws.jitTput, tput, ws.jitMeasured)
+			ws.jitMeasured = true
 		} else {
-			ws.vecTput = ewma(ws.vecTput, tput)
+			ws.vecTput = ewma(ws.vecTput, tput, ws.vecMeasured)
+			ws.vecMeasured = true
 		}
 	}
 }
 
-func ewma(old, sample float64) float64 {
-	if old == 0 {
+func ewma(old, sample float64, measured bool) float64 {
+	if !measured {
 		return sample
 	}
 	return hybridDecay*sample + (1-hybridDecay)*old
 }
 
-func (h *hybridRunner) finish() (time.Duration, time.Duration) {
+func (h *hybridRunner) finish() finishInfo {
 	// Query-level cleanup in Execute abandons jobs that never finished; the
 	// compile duration is only published (happens-before the art store) once
 	// the code is ready. The hybrid backend hides compile latency behind
 	// interpretation: no dead wait is charged.
-	if h.bg.art.Load() != nil {
-		return h.bg.compile, 0
+	if h.bg.failed.Load() {
+		return finishInfo{compileErrors: 1, degraded: h.bg.err}
 	}
-	return 0, 0
+	if h.bg.art.Load() != nil {
+		return finishInfo{compileTime: h.bg.compile}
+	}
+	return finishInfo{}
 }

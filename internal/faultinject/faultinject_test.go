@@ -1,0 +1,111 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestUnarmedIsNoop(t *testing.T) {
+	Reset()
+	if err := Inject("nope"); err != nil {
+		t.Fatalf("unarmed Inject: %v", err)
+	}
+	if d := Delay("nope"); d != 0 {
+		t.Fatalf("unarmed Delay: %v", d)
+	}
+}
+
+func TestNthCall(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("p", Fault{Nth: 3})
+	for i := 1; i <= 5; i++ {
+		err := Inject("p")
+		if i == 3 && !errors.Is(err, ErrInjected) {
+			t.Fatalf("call %d: want ErrInjected, got %v", i, err)
+		}
+		if i != 3 && err != nil {
+			t.Fatalf("call %d: want nil, got %v", i, err)
+		}
+	}
+	if c := Calls("p"); c != 5 {
+		t.Fatalf("calls: got %d want 5", c)
+	}
+}
+
+func TestEveryCallCustomErr(t *testing.T) {
+	Reset()
+	defer Reset()
+	sentinel := errors.New("boom")
+	Arm("p", Fault{Err: sentinel})
+	for i := 0; i < 3; i++ {
+		if err := Inject("p"); !errors.Is(err, sentinel) {
+			t.Fatalf("want sentinel, got %v", err)
+		}
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("p", Fault{Panic: "kaboom"})
+	defer func() {
+		if r := recover(); r != "kaboom" {
+			t.Fatalf("recover: got %v", r)
+		}
+	}()
+	Inject("p")
+	t.Fatal("Inject did not panic")
+}
+
+func TestDelayOnlyFault(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("p", Fault{Delay: time.Millisecond})
+	start := time.Now()
+	if err := Inject("p"); err != nil {
+		t.Fatalf("delay-only fault returned %v", err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("delay not applied")
+	}
+	if d := Delay("p"); d != time.Millisecond {
+		t.Fatalf("Delay: got %v", d)
+	}
+}
+
+func TestProbDeterministicBySeed(t *testing.T) {
+	Reset()
+	defer Reset()
+	run := func() []bool {
+		Arm("p", Fault{Prob: 0.5, Seed: 7})
+		out := make([]bool, 32)
+		for i := range out {
+			out[i] = Inject("p") != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded runs diverge at %d", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("prob 0.5 fired %d/%d times", fired, len(a))
+	}
+}
+
+func TestDisarm(t *testing.T) {
+	Reset()
+	Arm("p", Fault{})
+	Disarm("p")
+	if err := Inject("p"); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+}

@@ -26,8 +26,13 @@ type aggShard struct {
 	hashes  []uint64
 	rows    [][]byte
 	arena   *Arena
+	budget  *MemBudget
 	resizes int64
 }
+
+// entryOverhead approximates the per-entry bookkeeping bytes outside the
+// arena (hash, row header, amortized bucket slot) charged to a MemBudget.
+const entryOverhead = 32
 
 // NewAggTable creates a table whose new groups start with the given payload
 // template (e.g. +Inf for MIN slots, zeroes for SUM/COUNT).
@@ -68,15 +73,31 @@ func (t *AggTable) FindOrCreate(key []byte, h uint64) []byte {
 func (t *AggTable) FindOrCreateSeed(key []byte, h uint64, seed []byte) []byte {
 	s := &t.shards[(h>>56)&t.shardMask]
 	s.mu.Lock()
-	row := s.findOrCreate(key, h, t.payloadInit, seed)
-	s.mu.Unlock()
-	return row
+	// The unlock is deferred (not inlined) so that a memory-budget panic out
+	// of the arena never strands the shard lock: the scheduler recovers the
+	// panic and the remaining workers must still be able to drain.
+	defer s.mu.Unlock()
+	return s.findOrCreate(key, h, t.payloadInit, seed)
+}
+
+// SetBudget charges this table's future allocations (arena blocks, entry and
+// bucket bookkeeping) to the query budget. Call before inserting.
+func (t *AggTable) SetBudget(b *MemBudget) {
+	if b == nil {
+		return
+	}
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.budget = b
+		s.arena.SetBudget(b)
+	}
 }
 
 func (s *aggShard) findOrCreate(key []byte, h uint64, init, seed []byte) []byte {
 	for i := h & s.mask; ; i = (i + 1) & s.mask {
 		b := s.buckets[i]
 		if b == 0 {
+			s.budget.Charge(entryOverhead)
 			row := s.arena.Alloc(4 + len(key) + len(init) + len(seed))
 			binary.LittleEndian.PutUint32(row, uint32(len(key)))
 			copy(row[4:], key)
@@ -99,6 +120,7 @@ func (s *aggShard) findOrCreate(key []byte, h uint64, init, seed []byte) []byte 
 
 func (s *aggShard) grow() {
 	s.resizes++
+	s.budget.Charge(int64(len(s.buckets)) * 4) // doubling: charge the delta
 	nb := make([]int32, 2*len(s.buckets))
 	mask := uint64(len(nb) - 1)
 	for e, h := range s.hashes {

@@ -8,6 +8,7 @@ type Arena struct {
 	block     []byte
 	blockSize int
 	used      int64
+	budget    *MemBudget
 }
 
 const defaultArenaBlock = 1 << 16
@@ -20,14 +21,21 @@ func NewArena(blockSize int) *Arena {
 	return &Arena{blockSize: blockSize}
 }
 
+// SetBudget charges all future block allocations to the query budget (nil =
+// unlimited). Budget granularity is whole blocks: the query pays for arena
+// capacity, not per-row slices.
+func (a *Arena) SetBudget(b *MemBudget) { a.budget = b }
+
 // Alloc returns a zeroed slice of n bytes. Requests larger than the block
 // size get their own block.
 func (a *Arena) Alloc(n int) []byte {
 	a.used += int64(n)
 	if n > a.blockSize {
+		a.budget.Charge(int64(n))
 		return make([]byte, n)
 	}
 	if len(a.block) < n {
+		a.budget.Charge(int64(a.blockSize))
 		a.block = make([]byte, a.blockSize)
 	}
 	out := a.block[:n:n]

@@ -20,6 +20,7 @@ type joinShard struct {
 	rows    [][]byte
 	hashes  []uint64
 	arena   *Arena
+	budget  *MemBudget
 	buckets []int32 // entry index + 1; 0 = empty
 	next    []int32 // chain: entry index + 1; 0 = end
 	mask    uint64
@@ -41,18 +42,35 @@ func NewJoinTable(shardCount int) *JoinTable {
 	return t
 }
 
+// SetBudget charges this table's future allocations (arena blocks, entry
+// bookkeeping, seal-time bucket arrays) to the query budget. Call before the
+// build pipeline inserts.
+func (t *JoinTable) SetBudget(b *MemBudget) {
+	if b == nil {
+		return
+	}
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.budget = b
+		s.arena.SetBudget(b)
+	}
+}
+
 // Insert adds a packed row (key blob + payload blob) to the table. Safe for
 // concurrent use during the build pipeline.
 func (t *JoinTable) Insert(key, payload []byte, h uint64) {
 	s := &t.shards[(h>>56)&t.shardMask]
 	s.mu.Lock()
+	// Deferred so a memory-budget panic from the arena cannot strand the
+	// shard lock while the scheduler drains the remaining workers.
+	defer s.mu.Unlock()
+	s.budget.Charge(entryOverhead)
 	row := s.arena.Alloc(4 + len(key) + len(payload))
 	binary.LittleEndian.PutUint32(row, uint32(len(key)))
 	copy(row[4:], key)
 	copy(row[4+len(key):], payload)
 	s.rows = append(s.rows, row)
 	s.hashes = append(s.hashes, h)
-	s.mu.Unlock()
 }
 
 // Seal builds the probe-side bucket arrays. Must be called after the build
@@ -65,6 +83,7 @@ func (t *JoinTable) Seal() {
 		for cap < uint64(2*n) {
 			cap <<= 1
 		}
+		s.budget.Charge(int64(cap)*4 + int64(n)*4)
 		s.buckets = make([]int32, cap)
 		s.next = make([]int32, n)
 		s.mask = cap - 1

@@ -40,6 +40,17 @@ type Counters struct {
 	CompileWait time.Duration
 	// CompileTime is the total time spent compiling (background or not).
 	CompileTime time.Duration
+	// CompileErrors counts failed compilation jobs. Background (hybrid)
+	// failures degrade the pipeline to the vectorized interpreter instead of
+	// failing the query, so a nonzero count with a successful result means
+	// the engine ran degraded.
+	CompileErrors int64
+	// PanicsRecovered counts panics the lifecycle layer caught and converted
+	// into per-query errors (one per failed morsel or finalization).
+	PanicsRecovered int64
+	// MemPeakBytes is the high-water mark of budget-accounted runtime-state
+	// bytes (arenas, hash-table bookkeeping); 0 unless a budget was set.
+	MemPeakBytes int64
 }
 
 // Add merges o into c.
@@ -57,6 +68,9 @@ func (c *Counters) Add(o *Counters) {
 	c.MorselsCompiled += o.MorselsCompiled
 	c.CompileWait += o.CompileWait
 	c.CompileTime += o.CompileTime
+	c.CompileErrors += o.CompileErrors
+	c.PanicsRecovered += o.PanicsRecovered
+	c.MemPeakBytes = max(c.MemPeakBytes, o.MemPeakBytes)
 }
 
 // PerTuple formats a counter normalized by processed tuples.

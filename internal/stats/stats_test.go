@@ -11,14 +11,17 @@ func TestAddMergesAllFields(t *testing.T) {
 		FusedCalls: 5, HTProbes: 6, HTMatches: 7, HTInserts: 8,
 		EmittedRows: 9, MorselsVectorized: 10, MorselsCompiled: 11,
 		CompileWait: time.Second, CompileTime: 2 * time.Second,
+		CompileErrors: 12, PanicsRecovered: 13, MemPeakBytes: 14,
 	}
 	b := a
+	b.MemPeakBytes = 99 // peak merges by max, not sum
 	a.Add(&b)
 	if a.Tuples != 2 || a.VMOps != 4 || a.MaterializedBytes != 6 ||
 		a.PrimitiveCalls != 8 || a.FusedCalls != 10 || a.HTProbes != 12 ||
 		a.HTMatches != 14 || a.HTInserts != 16 || a.EmittedRows != 18 ||
 		a.MorselsVectorized != 20 || a.MorselsCompiled != 22 ||
-		a.CompileWait != 2*time.Second || a.CompileTime != 4*time.Second {
+		a.CompileWait != 2*time.Second || a.CompileTime != 4*time.Second ||
+		a.CompileErrors != 24 || a.PanicsRecovered != 26 || a.MemPeakBytes != 99 {
 		t.Fatalf("merge wrong: %+v", a)
 	}
 }

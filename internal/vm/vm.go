@@ -25,6 +25,9 @@ import (
 type Ctx struct {
 	// Counters accumulates this worker's statistics.
 	Counters stats.Counters
+	// Budget, when non-nil, caps the runtime-state bytes this query may
+	// allocate; worker-private tables created through this Ctx charge to it.
+	Budget *rt.MemBudget
 
 	scratch map[*rt.RowLayoutState]*rt.RowScratch
 	aggs    map[*rt.AggTableState]*rt.AggTable
@@ -56,6 +59,7 @@ func (c *Ctx) AggTable(st *rt.AggTableState) *rt.AggTable {
 	t, ok := c.aggs[st]
 	if !ok {
 		t = st.NewInstance()
+		t.SetBudget(c.Budget)
 		c.aggs[st] = t
 	}
 	return t

@@ -146,6 +146,23 @@ type (
 	Result = exec.Result
 	// Stats are the engine-internal execution counters.
 	Stats = stats.Counters
+	// QueryError is a query-scoped failure carrying the failing pipeline,
+	// backend, worker and morsel; it wraps one of the typed errors below.
+	QueryError = exec.QueryError
+)
+
+// Typed query-failure causes (match with errors.Is). A failing query returns
+// one of these — wrapped in a *QueryError when the failure has a location —
+// while the process and concurrently running queries are unaffected.
+var (
+	// ErrCanceled: the RunContext/ExecuteContext context was canceled.
+	ErrCanceled = exec.ErrCanceled
+	// ErrDeadlineExceeded: the context deadline passed mid-query.
+	ErrDeadlineExceeded = exec.ErrDeadlineExceeded
+	// ErrMemoryBudget: the query crossed Options.MemoryBudget.
+	ErrMemoryBudget = exec.ErrMemoryBudget
+	// ErrPanic: a panic in query execution was recovered and isolated.
+	ErrPanic = exec.ErrPanic
 )
 
 // Backends.
