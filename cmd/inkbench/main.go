@@ -6,6 +6,20 @@
 //	inkbench -exp ablations          — DESIGN.md ablation suite
 //	inkbench -exp all                — everything above
 //
+// Observability modes (skip the experiments):
+//
+//	inkbench -explain [-backend hybrid] [-queries q1,q6] — EXPLAIN ANALYZE:
+//	    run each query once and print the suboperator plan annotated with
+//	    measured morsel counts, busy time, compile timing and hybrid routing
+//	inkbench -explain -trace          — additionally dump the full per-worker
+//	    execution trace (morsel-level EWMA series of the hybrid router)
+//	inkbench -metrics                 — print the engine metrics registry
+//	    after whatever else ran
+//
+// Degraded measurements (a background compile failed mid-run and the
+// pipeline was served vectorized-only) are flagged with '*' in every table
+// and reported on stderr.
+//
 // Absolute numbers depend on the host; the shapes (who wins, where the
 // crossovers fall) are what EXPERIMENTS.md records against the paper.
 package main
@@ -17,6 +31,7 @@ import (
 	"strconv"
 	"strings"
 
+	"inkfuse"
 	"inkfuse/internal/benchkit"
 	"inkfuse/internal/tpch"
 )
@@ -30,6 +45,10 @@ func main() {
 	queries := flag.String("queries", "", "comma-separated query subset (default: all eight)")
 	timeout := flag.Duration("timeout", 0, "per-query deadline (e.g. 30s); expired queries fail with a typed error (0 = none)")
 	memBudget := flag.Int64("mem-budget", 0, "per-query runtime-state budget in bytes; exceeding it fails the query instead of OOM-ing (0 = unlimited)")
+	explain := flag.Bool("explain", false, "EXPLAIN ANALYZE mode: run each -queries query once on -backend and print the annotated plan, then exit")
+	traceFlag := flag.Bool("trace", false, "with -explain: also dump the full per-worker execution trace")
+	backend := flag.String("backend", "hybrid", "backend for -explain: vectorized | compiling | rof | hybrid")
+	metricsFlag := flag.Bool("metrics", false, "print the engine metrics registry before exiting")
 	flag.Parse()
 
 	cfg := benchkit.Config{SF: *sf, Runs: *runs, Workers: *workers, Timeout: *timeout, MemBudget: *memBudget}
@@ -37,6 +56,17 @@ func main() {
 		cfg.Queries = strings.Split(*queries, ",")
 	}
 	cfg = cfg.WithDefaults()
+
+	if *explain {
+		if err := explainQueries(cfg, *backend, *traceFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "inkbench: explain: %v\n", err)
+			os.Exit(1)
+		}
+		if *metricsFlag {
+			fmt.Print(inkfuse.MetricsText())
+		}
+		return
+	}
 
 	run := func(name string, f func() error) {
 		if *exp != name && *exp != "all" {
@@ -50,11 +80,11 @@ func main() {
 
 	run("fig9", func() error {
 		fmt.Printf("# Fig 9 — relative throughput vs vectorized backend (SF %g, %d workers)\n", cfg.SF, cfg.Workers)
-		rel, _, err := benchkit.Fig9(cfg)
+		rel, cells, err := benchkit.Fig9(cfg)
 		if err != nil {
 			return err
 		}
-		benchkit.PrintFig9(os.Stdout, rel, cfg.Queries)
+		benchkit.PrintFig9(os.Stdout, rel, cfg.Queries, benchkit.DegradedCells(cells))
 		fmt.Println()
 		return nil
 	})
@@ -124,4 +154,43 @@ func main() {
 		cat := tpch.Generate(cfg.SF, 42)
 		fmt.Printf("# data: %s\n", benchkit.CatalogRows(cat))
 	}
+	if *metricsFlag {
+		fmt.Println("# engine metrics")
+		fmt.Print(inkfuse.MetricsText())
+	}
+}
+
+// explainQueries runs each configured query once with tracing enabled and
+// prints the EXPLAIN ANALYZE rendering (plus the raw trace with -trace).
+func explainQueries(cfg benchkit.Config, backendName string, dumpTrace bool) error {
+	be, err := inkfuse.ParseBackend(backendName)
+	if err != nil {
+		return err
+	}
+	cat := inkfuse.GenerateTPCH(cfg.SF, 42)
+	for _, q := range cfg.Queries {
+		node, err := inkfuse.TPCHQuery(cat, q)
+		if err != nil {
+			return err
+		}
+		out, res, err := inkfuse.ExplainAnalyze(node, q, inkfuse.Options{
+			Backend:      be,
+			Workers:      cfg.Workers,
+			MemoryBudget: cfg.MemBudget,
+		})
+		if out != "" {
+			fmt.Print(out)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", q, err)
+		}
+		for _, w := range res.Warnings {
+			fmt.Fprintf(os.Stderr, "inkbench: %s: warning: %v\n", q, w)
+		}
+		if dumpTrace && res.Trace != nil {
+			fmt.Print(res.Trace.Dump())
+		}
+		fmt.Println()
+	}
+	return nil
 }

@@ -49,4 +49,13 @@ func main() {
 	fmt.Println("The vectorized backend resolves every suboperator above to a")
 	fmt.Println("pre-generated primitive (primitive-calls); the compiling backend")
 	fmt.Println("fuses each pipeline into one program (fused-calls = morsels).")
+
+	fmt.Println()
+	fmt.Println("=== EXPLAIN ANALYZE (hybrid): the same plan, with measured numbers ===")
+	fmt.Println()
+	out, _, err := inkfuse.ExplainAnalyze(node, *q, inkfuse.Options{Backend: inkfuse.BackendHybrid})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
 }

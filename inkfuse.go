@@ -30,6 +30,7 @@ import (
 	"inkfuse/internal/exec"
 	"inkfuse/internal/interp"
 	"inkfuse/internal/ir"
+	"inkfuse/internal/metrics"
 	"inkfuse/internal/storage"
 	"inkfuse/internal/tpch"
 	"inkfuse/internal/volcano"
@@ -129,6 +130,41 @@ func Explain(node Node, name string) (string, error) {
 		return "", err
 	}
 	return plan.Describe(), nil
+}
+
+// ExplainAnalyze lowers and EXECUTES the plan with tracing enabled, then
+// renders the suboperator pipelines annotated with the measured execution
+// numbers: morsel counts, per-worker busy-time distribution, compile timing,
+// the hybrid backend's routing split and EWMA throughput estimates, and
+// finalization time. Works on every backend. The executed Result (with
+// Result.Trace attached) is returned alongside the rendering; on failure the
+// rendering covers the partial trace and the error is returned too.
+func ExplainAnalyze(node Node, name string, opts Options) (string, *Result, error) {
+	return ExplainAnalyzeContext(context.Background(), node, name, opts)
+}
+
+// ExplainAnalyzeContext is ExplainAnalyze under a context (see RunContext).
+func ExplainAnalyzeContext(ctx context.Context, node Node, name string, opts Options) (string, *Result, error) {
+	plan, err := algebra.Lower(node, name)
+	if err != nil {
+		return "", nil, err
+	}
+	return exec.ExplainAnalyze(ctx, plan, opts)
+}
+
+// MetricsText renders the engine-wide metrics registry (queries started /
+// succeeded / failed / canceled, tuples, panics recovered, compile errors,
+// memory peaks, ...) as "name value" lines. The same registry is exported
+// via expvar under the key "inkfuse" for any HTTP server that mounts
+// /debug/vars. Metrics are fed once per query at query end — they cost the
+// hot path nothing.
+func MetricsText() string {
+	return metrics.Default.Dump()
+}
+
+// MetricsSnapshot returns a point-in-time copy of the engine-wide metrics.
+func MetricsSnapshot() MetricsValues {
+	return metrics.Default.Snapshot()
 }
 
 // PrimitiveCount reports how many vectorized primitives the engine generates

@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"text/tabwriter"
 	"time"
@@ -60,6 +61,12 @@ type Cell struct {
 	CompileWait   time.Duration
 	Rows          int
 	Stats         stats.Counters
+	// Degraded marks a run that completed with warnings or compile errors
+	// (e.g. a hybrid background compile failed and the pipeline was served
+	// vectorized-only): the number is not a faithful measurement of the
+	// configured system. Degraded cells are flagged in every rendering so
+	// they cannot silently corrupt the Fig 9/10 shapes.
+	Degraded bool
 }
 
 // System is a named execution configuration.
@@ -128,31 +135,44 @@ func RunOnce(cat *storage.Catalog, query string, sys System, cfg Config) (Cell, 
 	if err != nil {
 		return Cell{}, err
 	}
+	// A degraded run (background compile failed, pipeline served by the
+	// interpreter) must not masquerade as a normal measurement: surface the
+	// warnings immediately and flag the cell.
+	for _, w := range res.Warnings {
+		fmt.Fprintf(os.Stderr, "benchkit: %s/%s: warning: %v\n", query, sys.Name, w)
+	}
 	return Cell{
 		Query: query, System: sys.Name,
 		Wall: res.Wall, CompileWait: res.Stats.CompileWait,
 		Rows: res.Rows(), Stats: res.Stats,
+		Degraded: len(res.Warnings) > 0 || res.Stats.CompileErrors > 0,
 	}, nil
 }
 
 // Measure repeats RunOnce and returns the cell with the median wall time.
 // One untimed warmup run absorbs first-touch effects (heap growth, primitive
 // cache instantiation) that would otherwise be charged to whichever system
-// happens to run first.
+// happens to run first. The median cell carries the Degraded flag if ANY
+// timed repetition degraded — a partially degraded series is not a faithful
+// measurement even when the median run happened to be clean.
 func Measure(cat *storage.Catalog, query string, sys System, cfg Config) (Cell, error) {
 	if _, err := RunOnce(cat, query, sys, cfg); err != nil {
 		return Cell{}, err
 	}
 	cells := make([]Cell, 0, cfg.Runs)
+	degraded := false
 	for i := 0; i < cfg.Runs; i++ {
 		c, err := RunOnce(cat, query, sys, cfg)
 		if err != nil {
 			return Cell{}, err
 		}
+		degraded = degraded || c.Degraded
 		cells = append(cells, c)
 	}
 	sort.Slice(cells, func(a, b int) bool { return cells[a].Wall < cells[b].Wall })
-	return cells[len(cells)/2], nil
+	med := cells[len(cells)/2]
+	med.Degraded = degraded
+	return med, nil
 }
 
 // Fig9 measures the relative throughput of the InkFuse backends against the
@@ -229,43 +249,95 @@ func Fig10(cfg Config, sfs []float64) ([]Cell, error) {
 	return out, nil
 }
 
-// PrintFig9 renders Fig 9 as a relative-throughput table.
-func PrintFig9(w io.Writer, rel map[string]map[string]float64, queries []string) {
+// DegradedCells indexes the degraded measurements by query and system, for
+// renderings (like the Fig 9 ratio table) that no longer carry the cells.
+func DegradedCells(cells []Cell) map[string]map[string]bool {
+	out := map[string]map[string]bool{}
+	for _, c := range cells {
+		if !c.Degraded {
+			continue
+		}
+		if out[c.Query] == nil {
+			out[c.Query] = map[string]bool{}
+		}
+		out[c.Query][c.System] = true
+	}
+	return out
+}
+
+// degradedFootnote explains the '*' marker once per table.
+const degradedFootnote = "* degraded: a background compile failed during measurement (served vectorized-only); not a faithful measurement of this system"
+
+// PrintFig9 renders Fig 9 as a relative-throughput table. degraded (from
+// DegradedCells; nil allowed) marks cells measured under a failed background
+// compile with '*'.
+func PrintFig9(w io.Writer, rel map[string]map[string]float64, queries []string, degraded map[string]map[string]bool) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "query\tvectorized\tcompiling\trof\thybrid")
+	anyDegraded := false
 	for _, q := range queries {
 		r := rel[q]
-		fmt.Fprintf(tw, "%s\t%.2fx\t%.2fx\t%.2fx\t%.2fx\n",
-			q, r["vectorized"], r["compiling"], r["rof"], r["hybrid"])
+		fmt.Fprintf(tw, "%s", q)
+		for _, sys := range []string{"vectorized", "compiling", "rof", "hybrid"} {
+			mark := ""
+			if degraded[q][sys] {
+				mark = "*"
+				anyDegraded = true
+			}
+			fmt.Fprintf(tw, "\t%.2fx%s", r[sys], mark)
+		}
+		fmt.Fprintln(tw)
 	}
 	tw.Flush()
+	if anyDegraded {
+		fmt.Fprintln(w, degradedFootnote)
+	}
 }
 
 // PrintCells renders measurement cells with compile-wait accounting (the
-// dashed bar areas of Fig 10).
+// dashed bar areas of Fig 10). Degraded cells are marked with '*'.
 func PrintCells(w io.Writer, cells []Cell) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "query\tsystem\twall\tcompile-wait\trows")
+	anyDegraded := false
 	for _, c := range cells {
-		fmt.Fprintf(tw, "%s\t%s\t%v\t%v\t%d\n",
-			c.Query, c.System, c.Wall.Round(10*time.Microsecond),
+		mark := ""
+		if c.Degraded {
+			mark = "*"
+			anyDegraded = true
+		}
+		fmt.Fprintf(tw, "%s\t%s%s\t%v\t%v\t%d\n",
+			c.Query, c.System, mark, c.Wall.Round(10*time.Microsecond),
 			c.CompileWait.Round(10*time.Microsecond), c.Rows)
 	}
 	tw.Flush()
+	if anyDegraded {
+		fmt.Fprintln(w, degradedFootnote)
+	}
 }
 
 // PrintTable1 renders the Table I counter proxies per tuple. exec-time is
-// wall minus compile wait, the paper's steady-state execution cost.
+// wall minus compile wait, the paper's steady-state execution cost. Degraded
+// cells are marked with '*'.
 func PrintTable1(w io.Writer, cells []Cell) {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "query\tbackend\texec-time\tcompile-wait\tvm-ops/tuple\tbuffer-bytes/tuple\tht-probes/tuple\tprimitive-calls\tfused-calls")
+	anyDegraded := false
 	for _, c := range cells {
 		s := c.Stats
-		fmt.Fprintf(tw, "%s\t%s\t%v\t%v\t%s\t%s\t%s\t%d\t%d\n",
-			c.Query, c.System, (c.Wall - c.CompileWait).Round(10*time.Microsecond),
+		mark := ""
+		if c.Degraded {
+			mark = "*"
+			anyDegraded = true
+		}
+		fmt.Fprintf(tw, "%s\t%s%s\t%v\t%v\t%s\t%s\t%s\t%d\t%d\n",
+			c.Query, c.System, mark, (c.Wall - c.CompileWait).Round(10*time.Microsecond),
 			c.CompileWait.Round(10*time.Microsecond),
 			s.PerTuple(s.VMOps), s.PerTuple(s.MaterializedBytes), s.PerTuple(s.HTProbes),
 			s.PrimitiveCalls, s.FusedCalls)
 	}
 	tw.Flush()
+	if anyDegraded {
+		fmt.Fprintln(w, degradedFootnote)
+	}
 }

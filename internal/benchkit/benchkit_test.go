@@ -32,9 +32,39 @@ func TestFig9Harness(t *testing.T) {
 		}
 	}
 	var sb strings.Builder
-	PrintFig9(&sb, rel, tinyCfg.Queries)
+	PrintFig9(&sb, rel, tinyCfg.Queries, DegradedCells(cells))
 	if !strings.Contains(sb.String(), "q6") {
 		t.Fatal("fig9 table missing query row")
+	}
+}
+
+func TestDegradedCellMarking(t *testing.T) {
+	cells := []Cell{
+		{Query: "q1", System: "hybrid", Degraded: true},
+		{Query: "q1", System: "vectorized"},
+	}
+	deg := DegradedCells(cells)
+	if !deg["q1"]["hybrid"] || deg["q1"]["vectorized"] {
+		t.Fatalf("DegradedCells wrong: %v", deg)
+	}
+	var sb strings.Builder
+	PrintCells(&sb, cells)
+	out := sb.String()
+	if !strings.Contains(out, "hybrid*") {
+		t.Fatalf("degraded cell not marked:\n%s", out)
+	}
+	if !strings.Contains(out, "* degraded") {
+		t.Fatalf("degraded footnote missing:\n%s", out)
+	}
+	if strings.Contains(out, "vectorized*") {
+		t.Fatalf("clean cell wrongly marked:\n%s", out)
+	}
+
+	sb.Reset()
+	rel := map[string]map[string]float64{"q1": {"vectorized": 1, "compiling": 1, "rof": 1, "hybrid": 1}}
+	PrintFig9(&sb, rel, []string{"q1"}, deg)
+	if !strings.Contains(sb.String(), "1.00x*") {
+		t.Fatalf("fig9 degraded cell not marked:\n%s", sb.String())
 	}
 }
 

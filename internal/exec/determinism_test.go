@@ -1,0 +1,113 @@
+package exec
+
+// Determinism tests for sorted results with tied keys: parallel morsel
+// scheduling makes the pre-sort row order vary run to run, so sortChunk must
+// break ties deterministically (scripts/check.sh re-runs these under -race).
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"inkfuse/internal/algebra"
+	"inkfuse/internal/storage"
+	"inkfuse/internal/types"
+)
+
+// renderRows renders a result chunk in order for exact comparison.
+func renderRows(c *storage.Chunk) string {
+	var b strings.Builder
+	for i := 0; i < c.Rows(); i++ {
+		fmt.Fprintf(&b, "%v\n", c.Row(i))
+	}
+	return b.String()
+}
+
+// runSorted executes the node with many workers and small morsels to
+// maximize scheduling nondeterminism, returning the rendered rows.
+func runSorted(t *testing.T, node algebra.Node, name string, backend Backend) string {
+	t.Helper()
+	plan := lowerOrDie(t, node, name)
+	lat := LatencyNone
+	res, err := Execute(plan, Options{Backend: backend, Workers: 8, MorselSize: 64, Latency: &lat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return renderRows(res.Chunk)
+}
+
+func TestDeterminismTiedSortKeys(t *testing.T) {
+	// Every row in a key group ties on the sort key "g"; the payload column
+	// "v" is distinct per row, so the tie-break must order by it.
+	tbl := storage.NewTable("ties", types.Schema{
+		{Name: "g", Kind: types.Int64},
+		{Name: "v", Kind: types.Int64},
+	})
+	for i := 0; i < 2000; i++ {
+		tbl.AppendRow(int64(i%3), int64(i))
+	}
+	node := algebra.NewOrderBy(algebra.NewProject(algebra.NewScan(tbl, "g", "v"), "g", "v"),
+		[]string{"g"}, []bool{false}, 0)
+
+	want := runSorted(t, node, "ties0", BackendVectorized)
+	if want == "" {
+		t.Fatal("empty result")
+	}
+	for run := 1; run < 20; run++ {
+		got := runSorted(t, node, fmt.Sprintf("ties%d", run), BackendVectorized)
+		if got != want {
+			t.Fatalf("run %d ordered tied rows differently:\nfirst:\n%.400s\nrun:\n%.400s", run, want, got)
+		}
+	}
+}
+
+func TestDeterminismTiedAggregateSort(t *testing.T) {
+	// Ten groups with identical COUNTs: ordering by the count ties every
+	// group, and the merged per-worker aggregation tables arrive in
+	// scheduler-dependent order. The group-key column breaks the tie.
+	tbl := storage.NewTable("aggties", types.Schema{
+		{Name: "s", Kind: types.String},
+		{Name: "x", Kind: types.Int64},
+	})
+	for i := 0; i < 3000; i++ {
+		tbl.AppendRow(fmt.Sprintf("g%02d", i%10), int64(i))
+	}
+	node := algebra.NewOrderBy(
+		algebra.NewGroupBy(algebra.NewScan(tbl, "s", "x"), []string{"s"}, algebra.Count("n")),
+		[]string{"n"}, []bool{true}, 0)
+
+	for _, backend := range []Backend{BackendVectorized, BackendHybrid} {
+		t.Run(backend.String(), func(t *testing.T) {
+			want := runSorted(t, node, "aggties0", backend)
+			for run := 1; run < 20; run++ {
+				got := runSorted(t, node, fmt.Sprintf("aggties%d", run), backend)
+				if got != want {
+					t.Fatalf("run %d ordered tied groups differently:\nfirst:\n%s\nrun:\n%s", run, want, got)
+				}
+			}
+		})
+	}
+}
+
+func TestDeterminismTiedSortWithLimit(t *testing.T) {
+	// With a LIMIT cutting through a tie group, the selected rows themselves
+	// depend on tie order — the tie-break makes the selection stable too.
+	tbl := storage.NewTable("limties", types.Schema{
+		{Name: "g", Kind: types.Int64},
+		{Name: "v", Kind: types.Int64},
+	})
+	for i := 0; i < 1000; i++ {
+		tbl.AppendRow(int64(i%2), int64(i))
+	}
+	node := algebra.NewOrderBy(algebra.NewProject(algebra.NewScan(tbl, "g", "v"), "g", "v"),
+		[]string{"g"}, []bool{false}, 7)
+	want := runSorted(t, node, "lim0", BackendVectorized)
+	if strings.Count(want, "\n") != 7 {
+		t.Fatalf("limit not applied:\n%s", want)
+	}
+	for run := 1; run < 20; run++ {
+		if got := runSorted(t, node, fmt.Sprintf("lim%d", run), BackendVectorized); got != want {
+			t.Fatalf("run %d selected different rows under LIMIT:\nfirst:\n%s\nrun:\n%s", run, want, got)
+		}
+	}
+}

@@ -2,9 +2,12 @@ package exec
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,9 +15,11 @@ import (
 	"inkfuse/internal/core"
 	"inkfuse/internal/faultinject"
 	"inkfuse/internal/interp"
+	"inkfuse/internal/metrics"
 	"inkfuse/internal/rt"
 	"inkfuse/internal/stats"
 	"inkfuse/internal/storage"
+	"inkfuse/internal/trace"
 	"inkfuse/internal/types"
 	"inkfuse/internal/vm"
 )
@@ -35,6 +40,12 @@ type Options struct {
 	// arenas and bookkeeping). A query that crosses the cap fails with
 	// ErrMemoryBudget instead of pressuring the process. 0 = unlimited.
 	MemoryBudget int64
+	// Trace enables the per-query execution trace (Result.Trace): per
+	// pipeline the morsel counts, per-worker busy time, hybrid routing
+	// decisions and EWMA series, compile timing, and finalization time.
+	// Off by default; when off the morsel loop skips all trace work behind
+	// one nil check per morsel (no per-row cost either way).
+	Trace bool
 }
 
 func (o Options) withDefaults() Options {
@@ -64,6 +75,10 @@ type Result struct {
 	// Warnings reports non-fatal degradations (e.g. a hybrid background
 	// compile failed and the pipeline ran vectorized-only).
 	Warnings []error
+	// Trace is the execution trace, present when Options.Trace was set. A
+	// failed or canceled query carries a coherent partial trace of the
+	// pipelines that ran.
+	Trace *trace.Query
 }
 
 // Rows returns the number of result rows.
@@ -89,6 +104,9 @@ type finishInfo struct {
 	// degraded is the permanent background-compile failure of a hybrid
 	// pipeline (nil otherwise); surfaced as a Result warning.
 	degraded error
+	// artifactReady is when the hybrid background artifact landed (zero if
+	// never); recorded into the pipeline trace.
+	artifactReady time.Time
 }
 
 // queryState is the shared lifecycle of one executing query: the first
@@ -147,11 +165,20 @@ func ExecuteContext(ctx context.Context, plan *core.Plan, opts Options) (*Result
 	opts = opts.withDefaults()
 	start := time.Now()
 	qs := &queryState{ctx: ctx}
+	metrics.Default.QueryStarted()
+
+	// qt is nil unless tracing was requested; every recording site below is
+	// guarded on it at morsel granularity or coarser.
+	var qt *trace.Query
+	if opts.Trace {
+		qt = trace.NewQuery(plan.Name, opts.Backend.String(), opts.Workers, start)
+	}
 
 	var reg *interp.Registry
 	if opts.Backend != BackendCompiling && opts.Backend != BackendROF {
 		var err error
 		if reg, err = interp.Default(); err != nil {
+			metrics.Default.QueryDone(nil, time.Since(start), err, false, false)
 			return nil, err
 		}
 	}
@@ -180,13 +207,21 @@ func ExecuteContext(ctx context.Context, plan *core.Plan, opts Options) (*Result
 	var warnings []error
 
 	// failed builds the diagnostic result returned alongside a query error:
-	// stats are merged so recovered-panic and compile-error counts survive.
+	// stats are merged so recovered-panic and compile-error counts survive,
+	// and the partial trace (pipelines that ran) stays attached.
 	failed := func(err error) (*Result, error) {
 		for _, c := range ctxs {
 			res.Add(&c.Counters)
 		}
 		res.MemPeakBytes = budget.Peak()
-		return &Result{Cols: plan.ColNames, Stats: res, Wall: time.Since(start), Warnings: warnings}, err
+		wall := time.Since(start)
+		if qt != nil {
+			qt.Wall = wall
+			qt.Err = err.Error()
+		}
+		canceled := errors.Is(err, ErrCanceled) || errors.Is(err, ErrDeadlineExceeded)
+		metrics.Default.QueryDone(&res, wall, err, canceled, false)
+		return &Result{Cols: plan.ColNames, Stats: res, Wall: wall, Warnings: warnings, Trace: qt}, err
 	}
 
 	// The hybrid backend starts background compilation for every pipeline as
@@ -206,15 +241,25 @@ func ExecuteContext(ctx context.Context, plan *core.Plan, opts Options) (*Result
 		if qs.stopped() {
 			return failed(qs.failure())
 		}
+		pipeStart := time.Now()
 		binder, err := bindSource(pipe)
 		if err != nil {
 			return failed(fmt.Errorf("exec: %s/%s: %w", plan.Name, pipe.Name, err))
 		}
+		morsels := storage.Morsels(binder.total, opts.MorselSize)
+
+		// The pipeline trace is started before runner construction so the
+		// foreground backends' compile wait falls inside the pipeline wall.
+		var pt *trace.Pipeline
+		if qt != nil {
+			pt = qt.StartPipeline(pipe.Name, binder.total, len(morsels))
+		}
+
 		var bg *hybridCompile
 		if bgs != nil {
 			bg = bgs[pi]
 		}
-		r, err := newRunner(ctx, pipe, opts, reg, bg)
+		r, err := newRunner(ctx, pipe, opts, reg, bg, pt)
 		if err != nil {
 			return failed(fmt.Errorf("exec: %s/%s: %w", plan.Name, pipe.Name, err))
 		}
@@ -227,12 +272,21 @@ func ExecuteContext(ctx context.Context, plan *core.Plan, opts Options) (*Result
 			}
 		}
 
-		morsels := storage.Morsels(binder.total, opts.MorselSize)
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		for w := 0; w < opts.Workers; w++ {
 			wg.Add(1)
-			go func(w int) {
+			// pprof labels make worker goroutines attributable in CPU and
+			// goroutine profiles: samples group by query, pipeline, backend
+			// and worker. Applied once per worker per pipeline — never on
+			// the per-morsel or per-row path.
+			labels := pprof.Labels(
+				"query", plan.Name,
+				"pipeline", pipe.Name,
+				"backend", opts.Backend.String(),
+				"worker", strconv.Itoa(w),
+			)
+			go pprof.Do(ctx, labels, func(context.Context) {
 				defer wg.Done()
 				wctx := ctxs[w]
 				var out *storage.Chunk
@@ -247,12 +301,32 @@ func ExecuteContext(ctx context.Context, plan *core.Plan, opts Options) (*Result
 					if i >= len(morsels) {
 						return
 					}
-					if err := runMorselSafe(plan.Name, pipe.Name, opts.Backend, r, w, i, wctx, binder, morsels[i], out); err != nil {
+					// Trace recording works by deltas over the worker's own
+					// counters, so the runner's per-morsel accounting (tuples,
+					// hybrid routing) is captured without touching hot paths.
+					var t0 time.Time
+					var tup0, jit0, vec0 int64
+					if pt != nil {
+						t0 = time.Now()
+						tup0 = wctx.Counters.Tuples
+						jit0 = wctx.Counters.MorselsCompiled
+						vec0 = wctx.Counters.MorselsVectorized
+					}
+					err := runMorselSafe(plan.Name, pipe.Name, opts.Backend, r, w, i, wctx, binder, morsels[i], out)
+					if pt != nil {
+						wt := &pt.Workers[w]
+						wt.Busy += time.Since(t0)
+						wt.Morsels++
+						wt.Tuples += wctx.Counters.Tuples - tup0
+						wt.JIT += int(wctx.Counters.MorselsCompiled - jit0)
+						wt.Vectorized += int(wctx.Counters.MorselsVectorized - vec0)
+					}
+					if err != nil {
 						qs.fail(err)
 						return
 					}
 				}
-			}(w)
+			})
 		}
 		wg.Wait()
 
@@ -265,12 +339,33 @@ func ExecuteContext(ctx context.Context, plan *core.Plan, opts Options) (*Result
 				"exec: %s/%s: background compile failed, pipeline served by the vectorized interpreter: %w",
 				plan.Name, pipe.Name, fi.degraded))
 		}
+		if pt != nil {
+			pt.CompileTime = fi.compileTime
+			pt.CompileWait = fi.compileWait
+			pt.CompileErrors = fi.compileErrors
+			pt.Degraded = fi.degraded != nil
+			if !fi.artifactReady.IsZero() {
+				pt.ArtifactReady = fi.artifactReady.Sub(start)
+			}
+		}
 
 		if err := qs.failure(); err != nil {
+			if pt != nil {
+				pt.Wall = time.Since(pipeStart)
+			}
 			return failed(err)
 		}
+		finStart := time.Now()
 		if err := finalizeSafe(plan.Name, pipe, opts.Backend, ctxs, budget); err != nil {
+			if pt != nil {
+				pt.Finalize = time.Since(finStart)
+				pt.Wall = time.Since(pipeStart)
+			}
 			return failed(err)
+		}
+		if pt != nil {
+			pt.Finalize = time.Since(finStart)
+			pt.Wall = time.Since(pipeStart)
 		}
 		if pipe.Result != nil {
 			finalChunks = outs
@@ -288,6 +383,7 @@ func ExecuteContext(ctx context.Context, plan *core.Plan, opts Options) (*Result
 
 	kinds, err := plan.FinalKinds()
 	if err != nil {
+		metrics.Default.QueryDone(&res, time.Since(start), err, false, false)
 		return nil, err
 	}
 	out := storage.NewChunk(kinds)
@@ -297,7 +393,12 @@ func ExecuteContext(ctx context.Context, plan *core.Plan, opts Options) (*Result
 	if plan.Sort != nil {
 		out = sortChunk(out, plan.Sort)
 	}
-	return &Result{Cols: plan.ColNames, Chunk: out, Stats: res, Wall: time.Since(start), Warnings: warnings}, nil
+	wall := time.Since(start)
+	if qt != nil {
+		qt.Wall = wall
+	}
+	metrics.Default.QueryDone(&res, wall, nil, false, len(warnings) > 0)
+	return &Result{Cols: plan.ColNames, Chunk: out, Stats: res, Wall: wall, Warnings: warnings, Trace: qt}, nil
 }
 
 // runMorselSafe executes one morsel with panic isolation: a panic anywhere

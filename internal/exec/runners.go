@@ -10,11 +10,15 @@ import (
 	"inkfuse/internal/faultinject"
 	"inkfuse/internal/interp"
 	"inkfuse/internal/storage"
+	"inkfuse/internal/trace"
 	"inkfuse/internal/types"
 	"inkfuse/internal/vm"
 )
 
-func newRunner(ctx context.Context, pipe *core.Pipeline, opts Options, reg *interp.Registry, bg *hybridCompile) (runner, error) {
+// newRunner builds the backend runner for one pipeline. pt is the pipeline's
+// execution trace (nil when tracing is off); only the hybrid runner records
+// into it directly, for the routing decisions the scheduler cannot observe.
+func newRunner(ctx context.Context, pipe *core.Pipeline, opts Options, reg *interp.Registry, bg *hybridCompile, pt *trace.Pipeline) (runner, error) {
 	switch opts.Backend {
 	case BackendVectorized:
 		return newVectorizedRunner(pipe, opts, reg)
@@ -23,7 +27,7 @@ func newRunner(ctx context.Context, pipe *core.Pipeline, opts Options, reg *inte
 	case BackendROF:
 		return newROFRunner(ctx, pipe, opts)
 	case BackendHybrid:
-		return newHybridRunner(pipe, opts, reg, bg)
+		return newHybridRunner(pipe, opts, reg, bg, pt)
 	default:
 		return nil, fmt.Errorf("unknown backend %v", opts.Backend)
 	}
@@ -36,6 +40,10 @@ type vectorizedRunner struct {
 	runs      []*interp.Run
 	source    []*core.IU
 	chunkSize int
+	// scratch holds per-worker chunk views ([worker][col]), reused across
+	// chunks and morsels so the inner loop allocates nothing: consumers bind
+	// the vectors only for the duration of one RunChunk call.
+	scratch [][]*storage.Vector
 }
 
 func newVectorizedRunner(pipe *core.Pipeline, opts Options, reg *interp.Registry) (*vectorizedRunner, error) {
@@ -47,16 +55,30 @@ func newVectorizedRunner(pipe *core.Pipeline, opts Options, reg *interp.Registry
 		}
 		r.runs = append(r.runs, run)
 	}
+	r.scratch = newChunkScratch(opts.Workers, len(r.source))
 	return r, nil
+}
+
+// newChunkScratch pre-allocates the per-worker chunk-view headers the morsel
+// loops reslice in place.
+func newChunkScratch(workers, cols int) [][]*storage.Vector {
+	out := make([][]*storage.Vector, workers)
+	for w := range out {
+		out[w] = make([]*storage.Vector, cols)
+		for i := range out[w] {
+			out[w][i] = &storage.Vector{}
+		}
+	}
+	return out
 }
 
 func (r *vectorizedRunner) runMorsel(w int, ctx *vm.Ctx, src []*storage.Vector, n int, out *storage.Chunk) {
 	run := r.runs[w]
+	sub := r.scratch[w]
 	for lo := 0; lo < n; lo += r.chunkSize {
 		hi := min(lo+r.chunkSize, n)
-		sub := make([]*storage.Vector, len(src))
 		for i, v := range src {
-			sub[i] = v.Slice(lo, hi)
+			v.SliceInto(sub[i], lo, hi)
 		}
 		run.RunChunk(ctx, sub, hi-lo, out)
 	}
@@ -100,6 +122,9 @@ type rofRunner struct {
 	bufs      [][]*storage.Chunk // [worker][step-1]: the staging buffers
 	chunkSize int
 	wait      time.Duration
+	// scratch holds per-worker source chunk views, reused like the
+	// vectorized runner's (no allocation in the per-chunk loop).
+	scratch [][]*storage.Vector
 }
 
 func newROFRunner(ctx context.Context, pipe *core.Pipeline, opts Options) (*rofRunner, error) {
@@ -135,17 +160,19 @@ func newROFRunner(ctx context.Context, pipe *core.Pipeline, opts Options) (*rofR
 			r.bufs[w] = append(r.bufs[w], storage.NewChunk(iuKinds(steps[si].emit)))
 		}
 	}
+	r.scratch = newChunkScratch(opts.Workers, len(pipe.Source.SourceIUs()))
 	return r, nil
 }
 
 func (r *rofRunner) runMorsel(w int, ctx *vm.Ctx, src []*storage.Vector, n int, out *storage.Chunk) {
 	// Run the steps in lockstep over cache-friendly staged chunks.
+	sub := r.scratch[w]
 	for lo := 0; lo < n; lo += r.chunkSize {
 		hi := min(lo+r.chunkSize, n)
-		cur := make([]*storage.Vector, len(src))
 		for i, v := range src {
-			cur[i] = v.Slice(lo, hi)
+			v.SliceInto(sub[i], lo, hi)
 		}
+		cur := sub
 		cn := hi - lo
 		for si, st := range r.steps {
 			last := si == len(r.steps)-1
@@ -200,6 +227,9 @@ type hybridCompile struct {
 	cancel  chan struct{}
 	done    chan struct{}
 	compile time.Duration
+	// ready is when the artifact landed (written before the art store,
+	// read after a successful load — same happens-before as compile).
+	ready time.Time
 }
 
 // fail records a permanent compile failure on the job.
@@ -261,6 +291,7 @@ func startHybridCompiles(ctx context.Context, pipes []*core.Pipeline, lat Latenc
 				}
 			}
 			h.compile = time.Since(start)
+			h.ready = time.Now()
 			h.art.Store(&fusedStep{prog: prog, states: states, fn: fn})
 		}(pipe)
 	}
@@ -278,6 +309,10 @@ type hybridRunner struct {
 
 	bg      *hybridCompile
 	workers []hybridWorker
+	// pt is the pipeline's execution trace (nil when tracing is off): the
+	// runner records each measured routing sample into its own worker's
+	// entry — per-morsel, lock-free, guarded by one nil check.
+	pt *trace.Pipeline
 }
 
 type hybridWorker struct {
@@ -301,12 +336,12 @@ const hybridDecay = 0.3 // EWMA weight of the newest morsel
 // variable for the exploration-rate ablation.
 var HybridExploreEvery = 20
 
-func newHybridRunner(pipe *core.Pipeline, opts Options, reg *interp.Registry, bg *hybridCompile) (*hybridRunner, error) {
+func newHybridRunner(pipe *core.Pipeline, opts Options, reg *interp.Registry, bg *hybridCompile, pt *trace.Pipeline) (*hybridRunner, error) {
 	vec, err := newVectorizedRunner(pipe, opts, reg)
 	if err != nil {
 		return nil, err
 	}
-	return &hybridRunner{vec: vec, bg: bg, workers: make([]hybridWorker, opts.Workers)}, nil
+	return &hybridRunner{vec: vec, bg: bg, workers: make([]hybridWorker, opts.Workers), pt: pt}, nil
 }
 
 func (h *hybridRunner) runMorsel(w int, ctx *vm.Ctx, src []*storage.Vector, n int, out *storage.Chunk) {
@@ -347,7 +382,8 @@ func (h *hybridRunner) runMorsel(w int, ctx *vm.Ctx, src []*storage.Vector, n in
 		h.vec.runMorsel(w, ctx, src, n, out)
 		ctx.Counters.MorselsVectorized++
 	}
-	el := time.Since(start).Seconds()
+	dur := time.Since(start)
+	el := dur.Seconds()
 	// Skip empty morsels: a zero-row sample measures scheduling noise, not
 	// tuple throughput, and would skew the EWMA toward zero.
 	if n > 0 && el > 0 {
@@ -358,6 +394,16 @@ func (h *hybridRunner) runMorsel(w int, ctx *vm.Ctx, src []*storage.Vector, n in
 		} else {
 			ws.vecTput = ewma(ws.vecTput, tput, ws.vecMeasured)
 			ws.vecMeasured = true
+		}
+		if h.pt != nil {
+			h.pt.Workers[w].AddEWMA(trace.EWMASample{
+				Morsel:   ws.morsels - 1,
+				JIT:      useJIT,
+				Tuples:   n,
+				Duration: dur,
+				VecTput:  ws.vecTput,
+				JITTput:  ws.jitTput,
+			})
 		}
 	}
 }
@@ -378,7 +424,7 @@ func (h *hybridRunner) finish() finishInfo {
 		return finishInfo{compileErrors: 1, degraded: h.bg.err}
 	}
 	if h.bg.art.Load() != nil {
-		return finishInfo{compileTime: h.bg.compile}
+		return finishInfo{compileTime: h.bg.compile, artifactReady: h.bg.ready}
 	}
 	return finishInfo{}
 }

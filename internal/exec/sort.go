@@ -11,11 +11,21 @@ import (
 // sortChunk orders (and optionally limits) the final result. All supported
 // plans sort the final, already-aggregated result set, so ordering is a
 // post-processing step on the result buffer.
+//
+// Rows tied on every sort key fall back to comparing the remaining columns
+// in schema order: parallel morsel scheduling makes the pre-sort row order
+// vary run to run, and a stable sort alone would leak that nondeterminism
+// into the result. Rows identical in every column are interchangeable, so
+// the output is deterministic for a given input relation.
 func sortChunk(c *storage.Chunk, spec *core.SortSpec) *storage.Chunk {
 	n := c.Rows()
 	idx := make([]int32, n)
 	for i := range idx {
 		idx[i] = int32(i)
+	}
+	isKey := make([]bool, len(c.Cols))
+	for _, col := range spec.Keys {
+		isKey[col] = true
 	}
 	sort.SliceStable(idx, func(a, b int) bool {
 		ia, ib := idx[a], idx[b]
@@ -28,6 +38,14 @@ func sortChunk(c *storage.Chunk, spec *core.SortSpec) *storage.Chunk {
 				return cmp > 0
 			}
 			return cmp < 0
+		}
+		for col, v := range c.Cols {
+			if isKey[col] {
+				continue
+			}
+			if cmp := compareAt(v, int(ia), int(ib)); cmp != 0 {
+				return cmp < 0
+			}
 		}
 		return false
 	})

@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"errors"
+	"expvar"
+	"strings"
+	"testing"
+	"time"
+
+	"inkfuse/internal/stats"
+)
+
+func TestRegistryFolding(t *testing.T) {
+	r := &Registry{}
+	r.QueryStarted()
+	r.QueryStarted()
+	r.QueryStarted()
+
+	c1 := &stats.Counters{Tuples: 100, EmittedRows: 10, CompileTime: time.Millisecond, MemPeakBytes: 512}
+	r.QueryDone(c1, 2*time.Millisecond, nil, false, false)
+
+	c2 := &stats.Counters{Tuples: 50, PanicsRecovered: 1, MemPeakBytes: 256}
+	r.QueryDone(c2, time.Millisecond, errors.New("boom"), false, false)
+
+	c3 := &stats.Counters{Tuples: 7, CompileErrors: 1}
+	r.QueryDone(c3, time.Millisecond, errors.New("ctx"), true, true)
+
+	s := r.Snapshot()
+	if s.QueriesStarted != 3 || s.QueriesSucceeded != 1 || s.QueriesFailed != 1 || s.QueriesCanceled != 1 {
+		t.Fatalf("query counts wrong: %+v", s)
+	}
+	if s.Tuples != 157 || s.EmittedRows != 10 || s.PanicsRecovered != 1 || s.CompileErrors != 1 {
+		t.Fatalf("counter folding wrong: %+v", s)
+	}
+	if s.DegradedQueries != 1 {
+		t.Fatalf("degraded count wrong: %+v", s)
+	}
+	if s.MemPeakBytes != 512 {
+		t.Fatalf("mem peak gauge: got %d, want 512", s.MemPeakBytes)
+	}
+	if s.QueryNanos != int64(4*time.Millisecond) {
+		t.Fatalf("query nanos: got %d", s.QueryNanos)
+	}
+}
+
+func TestQueryDoneNilCounters(t *testing.T) {
+	r := &Registry{}
+	r.QueryDone(nil, time.Millisecond, errors.New("early"), false, false)
+	if s := r.Snapshot(); s.QueriesFailed != 1 || s.Tuples != 0 {
+		t.Fatalf("nil counters mishandled: %+v", s)
+	}
+}
+
+func TestDumpFormat(t *testing.T) {
+	r := &Registry{}
+	r.QueryStarted()
+	r.QueryDone(&stats.Counters{Tuples: 5}, time.Millisecond, nil, false, false)
+	out := r.Dump()
+	for _, want := range []string{"inkfuse_queries_started 1", "inkfuse_queries_succeeded 1", "inkfuse_tuples 5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExpvarPublished(t *testing.T) {
+	if expvar.Get("inkfuse") == nil {
+		t.Fatal("default registry not published under expvar key \"inkfuse\"")
+	}
+}

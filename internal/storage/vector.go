@@ -102,6 +102,27 @@ func (v *Vector) Slice(lo, hi int) *Vector {
 	return out
 }
 
+// SliceInto points dst at rows [lo, hi) of v, sharing the backing arrays: the
+// allocation-free Slice for hot loops that reuse a scratch header. dst must
+// not outlive v's backing arrays; only the field selected by Kind is updated.
+func (v *Vector) SliceInto(dst *Vector, lo, hi int) {
+	dst.Kind = v.Kind
+	switch v.Kind {
+	case types.Bool:
+		dst.B = v.B[lo:hi]
+	case types.Int32, types.Date:
+		dst.I32 = v.I32[lo:hi]
+	case types.Int64:
+		dst.I64 = v.I64[lo:hi]
+	case types.Float64:
+		dst.F64 = v.F64[lo:hi]
+	case types.String:
+		dst.Str = v.Str[lo:hi]
+	case types.Ptr:
+		dst.Ptr = v.Ptr[lo:hi]
+	}
+}
+
 // Gather fills dst with v[sel[i]] for every i. dst must have v's kind; it is
 // resized to len(sel). This is the compaction/expansion workhorse of the
 // dense-chunk execution model.

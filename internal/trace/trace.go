@@ -1,0 +1,317 @@
+// Package trace records opt-in per-query execution traces: per pipeline the
+// morsel count, per-worker busy time and tuple counts, the hybrid backend's
+// routing decisions (which morsels ran on compiled code vs the vectorized
+// interpreter, the EWMA throughput series, when the background artifact
+// landed), compile timing, and finalization time.
+//
+// The recording discipline keeps tracing out of the per-row hot path: every
+// write happens at morsel granularity or coarser, each worker writes only its
+// own pre-allocated Worker entry (no locks, no atomics), and with tracing off
+// the scheduler skips all of it behind a single nil check per morsel.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// MaxEWMASamples caps the per-worker EWMA throughput series so long queries
+// cannot grow a trace without bound; samples beyond the cap are counted in
+// Worker.EWMADropped instead of stored.
+const MaxEWMASamples = 512
+
+// Query is the execution trace of one query.
+type Query struct {
+	Query   string
+	Backend string
+	Workers int
+	// Begin anchors the trace on the wall clock; per-pipeline offsets (e.g.
+	// ArtifactReady) are relative to it.
+	Begin time.Time
+	// Wall is the end-to-end time, set when the query completes or fails.
+	Wall time.Duration
+	// Err is the terminal failure message ("" on success). A failed or
+	// canceled query still carries the pipelines that ran as a partial trace.
+	Err       string
+	Pipelines []*Pipeline
+}
+
+// Pipeline is the trace of one pipeline's execution.
+type Pipeline struct {
+	Name string
+	// Rows is the pipeline's source cardinality; Morsels the number of
+	// morsels scheduled over it. On cancellation workers stop early, so the
+	// per-worker morsel counts may sum to less than Morsels.
+	Rows    int
+	Morsels int
+	// Workers is indexed by worker ID; each worker writes only its own entry.
+	Workers []Worker
+	// Wall spans runner construction (including any foreground compile wait)
+	// through finalization; Finalize is the seal/merge tail alone.
+	Wall     time.Duration
+	Finalize time.Duration
+	// Compile accounting, from the pipeline's runner: total compile time,
+	// dead wait (foreground backends), and failed compile jobs.
+	CompileTime   time.Duration
+	CompileWait   time.Duration
+	CompileErrors int64
+	// Degraded marks a hybrid pipeline whose background compile failed
+	// permanently: it was served by the vectorized interpreter alone.
+	Degraded bool
+	// ArtifactReady is the offset from Query.Begin at which the hybrid
+	// background artifact became available (0 = never landed).
+	ArtifactReady time.Duration
+}
+
+// Worker is one worker's share of a pipeline.
+type Worker struct {
+	// Busy is the time spent running morsels (excludes scheduling gaps).
+	Busy    time.Duration
+	Morsels int
+	Tuples  int64
+	// JIT / Vectorized split the worker's morsels by serving backend, as
+	// routed by the hybrid policy (for the compiling and ROF backends every
+	// morsel is JIT; the pure vectorized backend reports neither).
+	JIT        int
+	Vectorized int
+	// EWMA is the hybrid routing-decision series (capped at MaxEWMASamples).
+	EWMA        []EWMASample
+	EWMADropped int
+}
+
+// EWMASample is one measured morsel of the hybrid backend's throughput
+// estimator: which backend served it and both EWMA estimates after the
+// update (tuples/second).
+type EWMASample struct {
+	Morsel   int // worker-local morsel ordinal
+	JIT      bool
+	Tuples   int
+	Duration time.Duration
+	VecTput  float64
+	JITTput  float64
+}
+
+// AddEWMA appends a sample, honouring the series cap.
+func (w *Worker) AddEWMA(s EWMASample) {
+	if len(w.EWMA) >= MaxEWMASamples {
+		w.EWMADropped++
+		return
+	}
+	w.EWMA = append(w.EWMA, s)
+}
+
+// NewQuery starts a query trace.
+func NewQuery(query, backend string, workers int, begin time.Time) *Query {
+	return &Query{Query: query, Backend: backend, Workers: workers, Begin: begin}
+}
+
+// StartPipeline appends a pipeline trace with one pre-allocated Worker entry
+// per worker, so the morsel loop records without allocating or locking.
+func (q *Query) StartPipeline(name string, rows, morsels int) *Pipeline {
+	p := &Pipeline{Name: name, Rows: rows, Morsels: morsels, Workers: make([]Worker, q.Workers)}
+	q.Pipelines = append(q.Pipelines, p)
+	return p
+}
+
+// Busy sums worker busy time across the pipeline.
+func (p *Pipeline) Busy() time.Duration {
+	var d time.Duration
+	for i := range p.Workers {
+		d += p.Workers[i].Busy
+	}
+	return d
+}
+
+// MorselsRun sums the morsels the workers actually ran (≤ Morsels scheduled
+// when the query failed or was canceled mid-pipeline).
+func (p *Pipeline) MorselsRun() int {
+	n := 0
+	for i := range p.Workers {
+		n += p.Workers[i].Morsels
+	}
+	return n
+}
+
+// Tuples sums source tuples processed by the pipeline.
+func (p *Pipeline) Tuples() int64 {
+	var n int64
+	for i := range p.Workers {
+		n += p.Workers[i].Tuples
+	}
+	return n
+}
+
+// RoutedJIT / RoutedVectorized sum the pipeline's routing decisions.
+func (p *Pipeline) RoutedJIT() int {
+	n := 0
+	for i := range p.Workers {
+		n += p.Workers[i].JIT
+	}
+	return n
+}
+
+// RoutedVectorized sums the morsels served by the vectorized interpreter.
+func (p *Pipeline) RoutedVectorized() int {
+	n := 0
+	for i := range p.Workers {
+		n += p.Workers[i].Vectorized
+	}
+	return n
+}
+
+// Query-level totals (across pipelines).
+
+// Tuples sums source tuples across the query.
+func (q *Query) Tuples() int64 {
+	var n int64
+	for _, p := range q.Pipelines {
+		n += p.Tuples()
+	}
+	return n
+}
+
+// MorselsRun sums executed morsels across the query.
+func (q *Query) MorselsRun() int {
+	n := 0
+	for _, p := range q.Pipelines {
+		n += p.MorselsRun()
+	}
+	return n
+}
+
+// RoutedJIT sums morsels served by compiled code across the query.
+func (q *Query) RoutedJIT() int {
+	n := 0
+	for _, p := range q.Pipelines {
+		n += p.RoutedJIT()
+	}
+	return n
+}
+
+// RoutedVectorized sums morsels served by the interpreter across the query.
+func (q *Query) RoutedVectorized() int {
+	n := 0
+	for _, p := range q.Pipelines {
+		n += p.RoutedVectorized()
+	}
+	return n
+}
+
+// Dump renders the full trace, one block per pipeline with per-worker lines
+// and the (truncated) EWMA series — the -trace output of cmd/inkbench.
+func (q *Query) Dump() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s: backend=%s workers=%d wall=%v", q.Query, q.Backend, q.Workers, q.Wall.Round(time.Microsecond))
+	if q.Err != "" {
+		fmt.Fprintf(&b, " err=%q", q.Err)
+	}
+	b.WriteByte('\n')
+	for _, p := range q.Pipelines {
+		fmt.Fprintf(&b, "pipeline %s: %d rows, %d/%d morsels run, wall=%v busy=%v finalize=%v\n",
+			p.Name, p.Rows, p.MorselsRun(), p.Morsels,
+			p.Wall.Round(time.Microsecond), p.Busy().Round(time.Microsecond), p.Finalize.Round(time.Microsecond))
+		if p.CompileTime > 0 || p.CompileWait > 0 || p.CompileErrors > 0 {
+			fmt.Fprintf(&b, "  compile: time=%v wait=%v errors=%d",
+				p.CompileTime.Round(time.Microsecond), p.CompileWait.Round(time.Microsecond), p.CompileErrors)
+			if p.ArtifactReady > 0 {
+				fmt.Fprintf(&b, " artifact-ready=+%v", p.ArtifactReady.Round(time.Microsecond))
+			}
+			if p.Degraded {
+				b.WriteString(" DEGRADED")
+			}
+			b.WriteByte('\n')
+		}
+		for w := range p.Workers {
+			ws := &p.Workers[w]
+			if ws.Morsels == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "  w%d: %d morsels, %d tuples, busy=%v", w, ws.Morsels, ws.Tuples, ws.Busy.Round(time.Microsecond))
+			if ws.JIT+ws.Vectorized > 0 {
+				fmt.Fprintf(&b, ", routed %d jit / %d vectorized", ws.JIT, ws.Vectorized)
+			}
+			b.WriteByte('\n')
+			for _, s := range ws.EWMA {
+				fmt.Fprintf(&b, "    m%-4d %-4s %7d tuples in %-10v ewma jit=%s vec=%s\n",
+					s.Morsel, backendTag(s.JIT), s.Tuples, s.Duration.Round(100*time.Nanosecond),
+					FormatTput(s.JITTput), FormatTput(s.VecTput))
+			}
+			if ws.EWMADropped > 0 {
+				fmt.Fprintf(&b, "    ... %d further samples dropped (cap %d)\n", ws.EWMADropped, MaxEWMASamples)
+			}
+		}
+	}
+	return b.String()
+}
+
+func backendTag(jit bool) string {
+	if jit {
+		return "jit"
+	}
+	return "vec"
+}
+
+// FinalEWMA returns the mean of the workers' last EWMA estimates for the JIT
+// and vectorized paths (0 when a path was never measured).
+func (p *Pipeline) FinalEWMA() (jit, vec float64) {
+	var jSum, vSum float64
+	var jN, vN int
+	for i := range p.Workers {
+		ew := p.Workers[i].EWMA
+		for k := len(ew) - 1; k >= 0; k-- {
+			if ew[k].JITTput > 0 {
+				jSum += ew[k].JITTput
+				jN++
+				break
+			}
+		}
+		for k := len(ew) - 1; k >= 0; k-- {
+			if ew[k].VecTput > 0 {
+				vSum += ew[k].VecTput
+				vN++
+				break
+			}
+		}
+	}
+	if jN > 0 {
+		jit = jSum / float64(jN)
+	}
+	if vN > 0 {
+		vec = vSum / float64(vN)
+	}
+	return jit, vec
+}
+
+// BusyQuantiles reports min/median/max worker busy time over workers that ran
+// at least one morsel; ok is false when no worker ran.
+func (p *Pipeline) BusyQuantiles() (lo, med, hi time.Duration, ok bool) {
+	var ds []time.Duration
+	for i := range p.Workers {
+		if p.Workers[i].Morsels > 0 {
+			ds = append(ds, p.Workers[i].Busy)
+		}
+	}
+	if len(ds) == 0 {
+		return 0, 0, 0, false
+	}
+	sort.Slice(ds, func(a, b int) bool { return ds[a] < ds[b] })
+	return ds[0], ds[len(ds)/2], ds[len(ds)-1], true
+}
+
+// FormatTput renders a tuples/second rate compactly (e.g. "45.6M/s").
+func FormatTput(v float64) string {
+	switch {
+	case v <= 0:
+		return "-"
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fG/s", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM/s", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fK/s", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f/s", v)
+	}
+}

@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTotalsAndQuantiles(t *testing.T) {
+	q := NewQuery("q", "hybrid", 3, time.Now())
+	p := q.StartPipeline("p0", 1000, 10)
+	if len(p.Workers) != 3 {
+		t.Fatalf("workers: got %d, want 3", len(p.Workers))
+	}
+	p.Workers[0] = Worker{Busy: 2 * time.Millisecond, Morsels: 4, Tuples: 400, JIT: 3, Vectorized: 1}
+	p.Workers[1] = Worker{Busy: 1 * time.Millisecond, Morsels: 3, Tuples: 300, JIT: 1, Vectorized: 2}
+	p.Workers[2] = Worker{Busy: 3 * time.Millisecond, Morsels: 3, Tuples: 300, JIT: 2, Vectorized: 1}
+
+	if got := p.MorselsRun(); got != 10 {
+		t.Errorf("MorselsRun: got %d, want 10", got)
+	}
+	if got := p.Tuples(); got != 1000 {
+		t.Errorf("Tuples: got %d, want 1000", got)
+	}
+	if p.RoutedJIT() != 6 || p.RoutedVectorized() != 4 {
+		t.Errorf("routing: got %d/%d, want 6/4", p.RoutedJIT(), p.RoutedVectorized())
+	}
+	if q.Tuples() != 1000 || q.MorselsRun() != 10 || q.RoutedJIT() != 6 || q.RoutedVectorized() != 4 {
+		t.Errorf("query totals wrong: %d %d %d %d", q.Tuples(), q.MorselsRun(), q.RoutedJIT(), q.RoutedVectorized())
+	}
+	lo, med, hi, ok := p.BusyQuantiles()
+	if !ok || lo != time.Millisecond || med != 2*time.Millisecond || hi != 3*time.Millisecond {
+		t.Errorf("quantiles: got %v %v %v %v", lo, med, hi, ok)
+	}
+}
+
+func TestEWMACapAndFinal(t *testing.T) {
+	q := NewQuery("q", "hybrid", 1, time.Now())
+	p := q.StartPipeline("p0", 0, 0)
+	w := &p.Workers[0]
+	for i := 0; i < MaxEWMASamples+7; i++ {
+		w.AddEWMA(EWMASample{Morsel: i, JIT: i%2 == 0, JITTput: 100, VecTput: 50})
+	}
+	if len(w.EWMA) != MaxEWMASamples {
+		t.Fatalf("series length: got %d, want %d", len(w.EWMA), MaxEWMASamples)
+	}
+	if w.EWMADropped != 7 {
+		t.Fatalf("dropped: got %d, want 7", w.EWMADropped)
+	}
+	jit, vec := p.FinalEWMA()
+	if jit != 100 || vec != 50 {
+		t.Fatalf("final ewma: got %v/%v, want 100/50", jit, vec)
+	}
+}
+
+func TestDumpPartialTrace(t *testing.T) {
+	q := NewQuery("canceled", "vectorized", 2, time.Now())
+	p := q.StartPipeline("p0", 500, 8)
+	p.Workers[0] = Worker{Busy: time.Millisecond, Morsels: 2, Tuples: 128}
+	q.Err = "canceled"
+	q.Wall = 5 * time.Millisecond
+	out := q.Dump()
+	for _, want := range []string{"trace canceled", `err="canceled"`, "2/8 morsels run", "w0: 2 morsels"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+	// The idle worker prints no line.
+	if strings.Contains(out, "w1:") {
+		t.Errorf("idle worker should be omitted:\n%s", out)
+	}
+}
+
+func TestFormatTput(t *testing.T) {
+	cases := map[float64]string{0: "-", 12: "12/s", 4500: "4.5K/s", 4.56e7: "45.6M/s", 2e9: "2.0G/s"}
+	for v, want := range cases {
+		if got := FormatTput(v); got != want {
+			t.Errorf("FormatTput(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

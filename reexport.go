@@ -5,8 +5,10 @@ import (
 	"inkfuse/internal/core"
 	"inkfuse/internal/exec"
 	"inkfuse/internal/ir"
+	"inkfuse/internal/metrics"
 	"inkfuse/internal/stats"
 	"inkfuse/internal/storage"
+	"inkfuse/internal/trace"
 	"inkfuse/internal/types"
 )
 
@@ -149,6 +151,23 @@ type (
 	// QueryError is a query-scoped failure carrying the failing pipeline,
 	// backend, worker and morsel; it wraps one of the typed errors below.
 	QueryError = exec.QueryError
+)
+
+// Observability: per-query execution traces (Options.Trace → Result.Trace)
+// and the engine-wide metrics registry (see MetricsText / MetricsSnapshot;
+// also exported via expvar as "inkfuse").
+type (
+	// QueryTrace is one query's execution trace.
+	QueryTrace = trace.Query
+	// PipelineTrace is the trace of one pipeline within a query.
+	PipelineTrace = trace.Pipeline
+	// WorkerTrace is one worker's share of a pipeline trace.
+	WorkerTrace = trace.Worker
+	// EWMASample is one hybrid routing decision with the throughput
+	// estimates that drove it.
+	EWMASample = trace.EWMASample
+	// MetricsValues is a snapshot of the engine-wide metrics registry.
+	MetricsValues = metrics.Snapshot
 )
 
 // Typed query-failure causes (match with errors.Is). A failing query returns
