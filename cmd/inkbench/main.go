@@ -15,6 +15,9 @@
 //	    execution trace (morsel-level EWMA series of the hybrid router)
 //	inkbench -metrics                 — print the engine metrics registry
 //	    after whatever else ran
+//	inkbench -json [-sf 0.1]          — machine-readable benchmark: every
+//	    -queries query on all four backends, median wall ms / rows/sec per
+//	    cell as JSON on stdout (scripts/bench.sh commits this as BENCH_*.json)
 //
 // Degraded measurements (a background compile failed mid-run and the
 // pipeline was served vectorized-only) are flagged with '*' in every table
@@ -49,6 +52,7 @@ func main() {
 	traceFlag := flag.Bool("trace", false, "with -explain: also dump the full per-worker execution trace")
 	backend := flag.String("backend", "hybrid", "backend for -explain: vectorized | compiling | rof | hybrid")
 	metricsFlag := flag.Bool("metrics", false, "print the engine metrics registry before exiting")
+	jsonFlag := flag.Bool("json", false, "JSON mode: measure every -queries query on all four backends and write the report to stdout, then exit")
 	flag.Parse()
 
 	cfg := benchkit.Config{SF: *sf, Runs: *runs, Workers: *workers, Timeout: *timeout, MemBudget: *memBudget}
@@ -56,6 +60,18 @@ func main() {
 		cfg.Queries = strings.Split(*queries, ",")
 	}
 	cfg = cfg.WithDefaults()
+
+	if *jsonFlag {
+		rep, err := benchkit.JSONBench(cfg, benchkit.Fig9Systems)
+		if err == nil {
+			err = rep.Write(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "inkbench: json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *explain {
 		if err := explainQueries(cfg, *backend, *traceFlag); err != nil {

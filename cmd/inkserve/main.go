@@ -1,0 +1,86 @@
+// Command inkserve is the long-running HTTP engine server: it generates a
+// TPC-H catalog at startup and serves JSON queries over it, with Prometheus
+// metrics on /metrics, health on /healthz and Go profiling on /debug/pprof.
+//
+// Usage:
+//
+//	inkserve -addr :8080 -sf 0.1 -backend hybrid -slow 500ms
+//
+// Query it:
+//
+//	curl -s localhost:8080/query -d '{"query":"q6","backend":"hybrid"}'
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"inkfuse/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address (use :0 for a random port)")
+		sf      = flag.Float64("sf", 0.1, "TPC-H scale factor of the resident catalog")
+		seed    = flag.Uint64("seed", 42, "catalog generator seed")
+		backend = flag.String("backend", "hybrid", "default execution backend")
+		timeout = flag.Duration("timeout", 30*time.Second, "default per-query timeout (0 = none)")
+		slow    = flag.Duration("slow", 500*time.Millisecond, "slow-query log threshold (0 = off)")
+		maxRows = flag.Int("max-rows", 100, "max result rows inlined into a response")
+		jsonLog = flag.Bool("log-json", false, "write the query log as JSON lines")
+	)
+	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *jsonLog {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+
+	logger.Info("generating catalog", "sf", *sf, "seed", *seed)
+	srv := serve.New(serve.Config{
+		SF: *sf, Seed: *seed,
+		DefaultBackend: *backend,
+		DefaultTimeout: *timeout,
+		SlowQuery:      *slow,
+		MaxRows:        *maxRows,
+		Logger:         logger,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listen failed", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
+	// The one stdout line scripts parse for the (possibly random) port.
+	fmt.Printf("inkserve: listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		logger.Error("server stopped", "err", err)
+		os.Exit(1)
+	case s := <-sig:
+		logger.Info("shutting down", "signal", s.String())
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			logger.Error("shutdown failed", "err", err)
+			os.Exit(1)
+		}
+	}
+}

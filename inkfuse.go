@@ -31,6 +31,7 @@ import (
 	"inkfuse/internal/interp"
 	"inkfuse/internal/ir"
 	"inkfuse/internal/metrics"
+	"inkfuse/internal/obs"
 	"inkfuse/internal/storage"
 	"inkfuse/internal/tpch"
 	"inkfuse/internal/volcano"
@@ -165,6 +166,25 @@ func MetricsText() string {
 // MetricsSnapshot returns a point-in-time copy of the engine-wide metrics.
 func MetricsSnapshot() MetricsValues {
 	return metrics.Default.Snapshot()
+}
+
+// PrometheusText renders the engine's observability state — the flat metrics
+// registry plus the latency/throughput histogram families (per-backend query
+// latency, morsel latency, rows/sec) — in the Prometheus text exposition
+// format. cmd/inkserve serves this at /metrics; embedders can mount it on
+// their own handler:
+//
+//	http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+//	    io.WriteString(w, inkfuse.PrometheusText())
+//	})
+func PrometheusText() string {
+	return obs.Default.PrometheusText()
+}
+
+// ObsSummaryText renders the histogram families as human-readable
+// count/p50/p90/p99 lines — the terminal-friendly view of PrometheusText.
+func ObsSummaryText() string {
+	return obs.Default.SummaryText()
 }
 
 // PrimitiveCount reports how many vectorized primitives the engine generates

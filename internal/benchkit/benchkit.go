@@ -8,6 +8,7 @@ package benchkit
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -247,6 +248,62 @@ func Fig10(cfg Config, sfs []float64) ([]Cell, error) {
 		}
 	}
 	return out, nil
+}
+
+// JSONCell is the machine-readable form of one measurement: the committed
+// benchmark artifacts (BENCH_*.json) and CI trend tooling consume it.
+type JSONCell struct {
+	Query         string  `json:"query"`
+	Backend       string  `json:"backend"`
+	WallMS        float64 `json:"wall_ms"`
+	CompileWaitMS float64 `json:"compile_wait_ms,omitempty"`
+	Rows          int     `json:"rows"`
+	// RowsPerSec is source-tuple throughput (tuples entering pipelines per
+	// second of wall time) — the same rate the /metrics histograms track.
+	RowsPerSec float64 `json:"rows_per_sec"`
+	Degraded   bool    `json:"degraded,omitempty"`
+}
+
+// JSONReport is a full benchmark grid with its configuration.
+type JSONReport struct {
+	SF      float64    `json:"sf"`
+	Workers int        `json:"workers"`
+	Runs    int        `json:"runs"`
+	Cells   []JSONCell `json:"cells"`
+}
+
+// JSONBench measures every configured query on every system and returns the
+// machine-readable report (median of Config.Runs per cell, like the tables).
+func JSONBench(cfg Config, systems []System) (*JSONReport, error) {
+	cfg = cfg.WithDefaults()
+	cat := tpch.Generate(cfg.SF, cfg.Seed)
+	rep := &JSONReport{SF: cfg.SF, Workers: cfg.Workers, Runs: cfg.Runs}
+	for _, q := range cfg.Queries {
+		for _, sys := range systems {
+			c, err := Measure(cat, q, sys, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("bench %s/%s: %w", q, sys.Name, err)
+			}
+			jc := JSONCell{
+				Query: c.Query, Backend: c.System,
+				WallMS:        float64(c.Wall) / float64(time.Millisecond),
+				CompileWaitMS: float64(c.CompileWait) / float64(time.Millisecond),
+				Rows:          c.Rows, Degraded: c.Degraded,
+			}
+			if secs := c.Wall.Seconds(); secs > 0 {
+				jc.RowsPerSec = float64(c.Stats.Tuples) / secs
+			}
+			rep.Cells = append(rep.Cells, jc)
+		}
+	}
+	return rep, nil
+}
+
+// Write renders the report as indented JSON.
+func (r *JSONReport) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
 }
 
 // DegradedCells indexes the degraded measurements by query and system, for

@@ -16,6 +16,7 @@ import (
 	"inkfuse/internal/faultinject"
 	"inkfuse/internal/interp"
 	"inkfuse/internal/metrics"
+	"inkfuse/internal/obs"
 	"inkfuse/internal/rt"
 	"inkfuse/internal/stats"
 	"inkfuse/internal/storage"
@@ -46,6 +47,16 @@ type Options struct {
 	// Off by default; when off the morsel loop skips all trace work behind
 	// one nil check per morsel (no per-row cost either way).
 	Trace bool
+	// Profile enables the sampled per-suboperator profiler on backends that
+	// serve morsels through the vectorized interpreter (vectorized, hybrid):
+	// one in every ProfileEvery chunks runs through a timed step loop that
+	// attributes nanoseconds and input tuples to each suboperator primitive.
+	// Results land in the trace (Pipeline.SubOps) and EXPLAIN ANALYZE. Off by
+	// default; when off the chunk loop pays a single nil check.
+	Profile bool
+	// ProfileEvery is the profiler's sampling period in chunks;
+	// 0 = interp.DefaultProfileEvery.
+	ProfileEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -107,6 +118,12 @@ type finishInfo struct {
 	// artifactReady is when the hybrid background artifact landed (zero if
 	// never); recorded into the pipeline trace.
 	artifactReady time.Time
+	// subops is the merged per-suboperator profile (Options.Profile, backends
+	// serving through the vectorized interpreter), with its sampling period
+	// and the total number of chunks timed across workers.
+	subops         []interp.SubOpSample
+	profileEvery   int
+	profiledChunks int64
 }
 
 // queryState is the shared lifecycle of one executing query: the first
@@ -166,6 +183,10 @@ func ExecuteContext(ctx context.Context, plan *core.Plan, opts Options) (*Result
 	start := time.Now()
 	qs := &queryState{ctx: ctx}
 	metrics.Default.QueryStarted()
+	backend := opts.Backend.String()
+	// The per-morsel latency histogram child is resolved once per query; the
+	// morsel loop observes through the pointer (two atomic adds per morsel).
+	morselHist := obs.Default.MorselLatency.With(backend)
 
 	// qt is nil unless tracing was requested; every recording site below is
 	// guarded on it at morsel granularity or coarser.
@@ -178,7 +199,9 @@ func ExecuteContext(ctx context.Context, plan *core.Plan, opts Options) (*Result
 	if opts.Backend != BackendCompiling && opts.Backend != BackendROF {
 		var err error
 		if reg, err = interp.Default(); err != nil {
-			metrics.Default.QueryDone(nil, time.Since(start), err, false, false)
+			wall := time.Since(start)
+			metrics.Default.QueryDone(nil, wall, err, false, false)
+			obs.Default.ObserveQuery(backend, wall, 0)
 			return nil, err
 		}
 	}
@@ -221,6 +244,7 @@ func ExecuteContext(ctx context.Context, plan *core.Plan, opts Options) (*Result
 		}
 		canceled := errors.Is(err, ErrCanceled) || errors.Is(err, ErrDeadlineExceeded)
 		metrics.Default.QueryDone(&res, wall, err, canceled, false)
+		obs.Default.ObserveQuery(backend, wall, res.Tuples)
 		return &Result{Cols: plan.ColNames, Stats: res, Wall: wall, Warnings: warnings, Trace: qt}, err
 	}
 
@@ -304,18 +328,21 @@ func ExecuteContext(ctx context.Context, plan *core.Plan, opts Options) (*Result
 					// Trace recording works by deltas over the worker's own
 					// counters, so the runner's per-morsel accounting (tuples,
 					// hybrid routing) is captured without touching hot paths.
-					var t0 time.Time
+					// The morsel is always timed: the duration feeds the
+					// process-wide latency histogram even when tracing is off.
 					var tup0, jit0, vec0 int64
 					if pt != nil {
-						t0 = time.Now()
 						tup0 = wctx.Counters.Tuples
 						jit0 = wctx.Counters.MorselsCompiled
 						vec0 = wctx.Counters.MorselsVectorized
 					}
+					t0 := time.Now()
 					err := runMorselSafe(plan.Name, pipe.Name, opts.Backend, r, w, i, wctx, binder, morsels[i], out)
+					elapsed := time.Since(t0)
+					morselHist.ObserveDuration(elapsed)
 					if pt != nil {
 						wt := &pt.Workers[w]
-						wt.Busy += time.Since(t0)
+						wt.Busy += elapsed
 						wt.Morsels++
 						wt.Tuples += wctx.Counters.Tuples - tup0
 						wt.JIT += int(wctx.Counters.MorselsCompiled - jit0)
@@ -346,6 +373,14 @@ func ExecuteContext(ctx context.Context, plan *core.Plan, opts Options) (*Result
 			pt.Degraded = fi.degraded != nil
 			if !fi.artifactReady.IsZero() {
 				pt.ArtifactReady = fi.artifactReady.Sub(start)
+			}
+			if len(fi.subops) > 0 {
+				pt.ProfileEvery = fi.profileEvery
+				pt.ProfiledChunks = fi.profiledChunks
+				pt.SubOps = make([]trace.SubOpProf, len(fi.subops))
+				for i, s := range fi.subops {
+					pt.SubOps[i] = trace.SubOpProf{ID: s.ID, Calls: s.Calls, Tuples: s.Tuples, Nanos: s.Nanos}
+				}
 			}
 		}
 
@@ -383,7 +418,9 @@ func ExecuteContext(ctx context.Context, plan *core.Plan, opts Options) (*Result
 
 	kinds, err := plan.FinalKinds()
 	if err != nil {
-		metrics.Default.QueryDone(&res, time.Since(start), err, false, false)
+		wall := time.Since(start)
+		metrics.Default.QueryDone(&res, wall, err, false, false)
+		obs.Default.ObserveQuery(backend, wall, res.Tuples)
 		return nil, err
 	}
 	out := storage.NewChunk(kinds)
@@ -398,6 +435,7 @@ func ExecuteContext(ctx context.Context, plan *core.Plan, opts Options) (*Result
 		qt.Wall = wall
 	}
 	metrics.Default.QueryDone(&res, wall, nil, false, len(warnings) > 0)
+	obs.Default.ObserveQuery(backend, wall, res.Tuples)
 	return &Result{Cols: plan.ColNames, Chunk: out, Stats: res, Wall: wall, Warnings: warnings, Trace: qt}, nil
 }
 

@@ -16,8 +16,13 @@ import (
 // backend's routing split and EWMA estimates, and finalization time. It
 // works for all four backends. On failure the rendering of the partial trace
 // is returned alongside the error.
+//
+// Profiling is enabled too: on backends serving through the vectorized
+// interpreter the annotations include a per-suboperator time/tuple breakdown
+// from the sampled chunk profiler.
 func ExplainAnalyze(ctx context.Context, plan *core.Plan, opts Options) (string, *Result, error) {
 	opts.Trace = true
+	opts.Profile = true
 	res, err := ExecuteContext(ctx, plan, opts)
 	if res == nil {
 		return "", nil, err
@@ -83,6 +88,21 @@ func writePipelineAnalysis(b *strings.Builder, pt *trace.Pipeline, workers int) 
 			b.WriteString(" — DEGRADED to vectorized-only")
 		}
 		b.WriteByte('\n')
+	}
+	if len(pt.SubOps) > 0 {
+		var total int64
+		for _, s := range pt.SubOps {
+			total += s.Nanos
+		}
+		fmt.Fprintf(b, "  -- subops: sampled 1/%d chunks (%d profiled)\n", pt.ProfileEvery, pt.ProfiledChunks)
+		for _, s := range pt.SubOps {
+			share := 0.0
+			if total > 0 {
+				share = 100 * float64(s.Nanos) / float64(total)
+			}
+			fmt.Fprintf(b, "       %-44s %5.1f%% %10v  calls=%-6d tuples=%-9d ns/tuple=%.1f\n",
+				s.ID, share, time.Duration(s.Nanos).Round(time.Microsecond), s.Calls, s.Tuples, s.NanosPerTuple())
+		}
 	}
 	jit, vec := pt.RoutedJIT(), pt.RoutedVectorized()
 	if jit+vec > 0 {

@@ -32,9 +32,14 @@ func benchNode(tbl *storage.Table) algebra.Node {
 }
 
 func benchmarkBackend(b *testing.B, backend Backend, rows int) {
+	benchmarkOpts(b, Options{Backend: backend, Workers: 2}, rows)
+}
+
+func benchmarkOpts(b *testing.B, opts Options, rows int) {
 	tbl := benchTable(rows)
 	node := benchNode(tbl)
 	lat := LatencyNone
+	opts.Latency = &lat
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -42,7 +47,7 @@ func benchmarkBackend(b *testing.B, backend Backend, rows int) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := Execute(plan, Options{Backend: backend, Workers: 2, Latency: &lat})
+		res, err := Execute(plan, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -67,4 +72,17 @@ func BenchmarkMorselLoopROF(b *testing.B) {
 func BenchmarkMorselLoopHybrid(b *testing.B) {
 	b.Run("rows=100k", func(b *testing.B) { benchmarkBackend(b, BackendHybrid, 100_000) })
 	b.Run("rows=400k", func(b *testing.B) { benchmarkBackend(b, BackendHybrid, 400_000) })
+}
+
+// The suboperator-profiler guard: the profiled run must stay within noise of
+// the plain vectorized run (compare against BenchmarkMorselLoopVectorized).
+// With the default 1/8 sampling only one chunk in eight pays two timestamp
+// reads per primitive; the other seven pay one counter increment and modulo,
+// and with profiling off (the other benchmarks) the chunk loop pays a single
+// nil check. The hard per-chunk-allocation guard is
+// interp.TestProfilerOffPathNoAllocs / TestProfilerOnPathNoPerChunkAllocs.
+func BenchmarkMorselLoopVectorizedProfiled(b *testing.B) {
+	opts := Options{Backend: BackendVectorized, Workers: 2, Profile: true}
+	b.Run("rows=100k", func(b *testing.B) { benchmarkOpts(b, opts, 100_000) })
+	b.Run("rows=400k", func(b *testing.B) { benchmarkOpts(b, opts, 400_000) })
 }

@@ -44,6 +44,9 @@ type vectorizedRunner struct {
 	// chunks and morsels so the inner loop allocates nothing: consumers bind
 	// the vectors only for the duration of one RunChunk call.
 	scratch [][]*storage.Vector
+	// profs holds each worker's suboperator profiler (Options.Profile);
+	// merged at finish into the pipeline's attribution list.
+	profs []*interp.Profile
 }
 
 func newVectorizedRunner(pipe *core.Pipeline, opts Options, reg *interp.Registry) (*vectorizedRunner, error) {
@@ -53,10 +56,25 @@ func newVectorizedRunner(pipe *core.Pipeline, opts Options, reg *interp.Registry
 		if err != nil {
 			return nil, err
 		}
+		if opts.Profile {
+			r.profs = append(r.profs, run.EnableProfile(opts.ProfileEvery))
+		}
 		r.runs = append(r.runs, run)
 	}
 	r.scratch = newChunkScratch(opts.Workers, len(r.source))
 	return r, nil
+}
+
+// profileInfo folds the workers' suboperator profiles into a finishInfo.
+func (r *vectorizedRunner) profileInfo(fi *finishInfo) {
+	if len(r.profs) == 0 {
+		return
+	}
+	fi.subops = interp.MergeProfiles(r.profs)
+	fi.profileEvery = r.profs[0].Every
+	for _, p := range r.profs {
+		fi.profiledChunks += p.Sampled
+	}
 }
 
 // newChunkScratch pre-allocates the per-worker chunk-view headers the morsel
@@ -84,7 +102,11 @@ func (r *vectorizedRunner) runMorsel(w int, ctx *vm.Ctx, src []*storage.Vector, 
 	}
 }
 
-func (r *vectorizedRunner) finish() finishInfo { return finishInfo{} }
+func (r *vectorizedRunner) finish() finishInfo {
+	var fi finishInfo
+	r.profileInfo(&fi)
+	return fi
+}
 
 // ---------------------------------------------------------------------------
 // Compiling backend: fuse the whole pipeline, wait for the code.
@@ -420,11 +442,15 @@ func (h *hybridRunner) finish() finishInfo {
 	// compile duration is only published (happens-before the art store) once
 	// the code is ready. The hybrid backend hides compile latency behind
 	// interpretation: no dead wait is charged.
-	if h.bg.failed.Load() {
-		return finishInfo{compileErrors: 1, degraded: h.bg.err}
+	var fi finishInfo
+	switch {
+	case h.bg.failed.Load():
+		fi = finishInfo{compileErrors: 1, degraded: h.bg.err}
+	case h.bg.art.Load() != nil:
+		fi = finishInfo{compileTime: h.bg.compile, artifactReady: h.bg.ready}
 	}
-	if h.bg.art.Load() != nil {
-		return finishInfo{compileTime: h.bg.compile, artifactReady: h.bg.ready}
-	}
-	return finishInfo{}
+	// The interpreter half of the hybrid carries the suboperator profile; the
+	// fused artifact is opaque to per-suboperator attribution by construction.
+	h.vec.profileInfo(&fi)
+	return fi
 }

@@ -41,6 +41,14 @@ const (
 	// ExecHybridCompileDelay adds latency to the background compile job's
 	// interruptible latency wait (delay point).
 	ExecHybridCompileDelay = "exec/hybrid-compile-delay"
+	// ServeParse fires in the inkserve request path after the request body is
+	// decoded (error point: a fired fault fails the request as a bad request).
+	ServeParse = "serve/parse"
+	// ServeExecute fires just before inkserve hands the query to the engine
+	// (panic-capable; exercises the handler's isolation).
+	ServeExecute = "serve/execute"
+	// ServeRespond fires before the response body is written (panic-capable).
+	ServeRespond = "serve/respond"
 )
 
 // Fault describes when an armed point fires and what it injects.

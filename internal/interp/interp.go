@@ -15,6 +15,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"inkfuse/internal/core"
 	"inkfuse/internal/ir"
@@ -134,11 +135,81 @@ func (r *Registry) GenerateSource(lang string) (string, error) {
 
 // compiledOp is one suboperator resolved to its primitive.
 type compiledOp struct {
+	id     string // the primitive's enumeration ID (profiler attribution)
 	prog   *vm.Program
 	states []any
 	ins    []*core.IU
 	outs   []*core.IU
 	sink   bool
+}
+
+// SubOpSample is one suboperator's sampled profile attribution: how many
+// chunks its primitive ran on, how many input tuples it saw, and the
+// nanoseconds spent inside it.
+type SubOpSample struct {
+	ID     string
+	Calls  int64
+	Tuples int64
+	Nanos  int64
+}
+
+// Profile is a per-Run (and therefore per-worker) sampling profiler over the
+// suboperator primitives: every Every-th chunk is run through a timed step
+// loop that attributes nanoseconds and tuples to each primitive. Between
+// samples the interpreter takes its regular untimed path, so the steady-state
+// cost of an enabled profiler is one counter increment and modulo per chunk —
+// and with profiling off (Run.prof == nil) a single nil check per chunk.
+//
+// A Profile belongs to one Run: no locks, no atomics. Merge per-worker
+// profiles with MergeProfiles.
+type Profile struct {
+	// Every is the sampling period in chunks (1 = profile every chunk).
+	Every int
+	// Chunks counts chunks seen; Sampled counts chunks profiled.
+	Chunks  int64
+	Sampled int64
+	samples []SubOpSample // parallel to the Run's scan+ops sequence
+}
+
+// tick advances the chunk counter and reports whether to sample this chunk.
+func (p *Profile) tick() bool {
+	p.Chunks++
+	if p.Chunks%int64(p.Every) != 0 {
+		return false
+	}
+	p.Sampled++
+	return true
+}
+
+// Samples returns the per-suboperator attributions in pipeline order
+// (including suboperators that were never sampled, with zero counts).
+func (p *Profile) Samples() []SubOpSample {
+	return append([]SubOpSample{}, p.samples...)
+}
+
+// MergeProfiles folds per-worker profiles of the same suboperator sequence
+// into one attribution list, preserving pipeline order. Profiles from
+// different pipelines must not be mixed; nil entries are skipped.
+func MergeProfiles(profs []*Profile) []SubOpSample {
+	var out []SubOpSample
+	for _, p := range profs {
+		if p == nil {
+			continue
+		}
+		if out == nil {
+			out = p.Samples()
+			continue
+		}
+		for i := range p.samples {
+			if i >= len(out) {
+				break
+			}
+			out[i].Calls += p.samples[i].Calls
+			out[i].Tuples += p.samples[i].Tuples
+			out[i].Nanos += p.samples[i].Nanos
+		}
+	}
+	return out
 }
 
 // Run interprets one step (a suboperator sequence) for a single worker. It
@@ -155,7 +226,36 @@ type Run struct {
 
 	outChunks []*storage.Chunk // per op, wrapping its outs' vectors
 	inVecs    [][]*storage.Vector
+	emitVecs  []*storage.Vector // pre-wired emit columns (no per-chunk alloc)
+	scanIn    []*storage.Vector // reusable 1-element scan input binding
+
+	// prof is the optional sampling profiler (EnableProfile); nil costs one
+	// branch per chunk.
+	prof *Profile
 }
+
+// EnableProfile attaches a sampling profiler to this Run: every every-th
+// chunk is timed per suboperator primitive. Returns the profile for later
+// collection. every <= 0 defaults to DefaultProfileEvery.
+func (r *Run) EnableProfile(every int) *Profile {
+	if every <= 0 {
+		every = DefaultProfileEvery
+	}
+	p := &Profile{Every: every, samples: make([]SubOpSample, len(r.scan)+len(r.ops))}
+	for i, co := range r.scan {
+		p.samples[i].ID = co.id
+	}
+	for i, co := range r.ops {
+		p.samples[len(r.scan)+i].ID = co.id
+	}
+	r.prof = p
+	return p
+}
+
+// DefaultProfileEvery is the default suboperator-profiler sampling period:
+// one in every 8 chunks is timed (~12% of chunks carry the timestamp cost,
+// attribution stays statistically stable even for short pipelines).
+const DefaultProfileEvery = 8
 
 // NewRun prepares a per-worker interpreter for the given suboperator
 // sequence. Every suboperator must have a pre-generated primitive — the
@@ -169,7 +269,7 @@ func NewRun(reg *Registry, source []*core.IU, ops []core.SubOp, emit []*core.IU)
 		if !ok {
 			return nil, fmt.Errorf("interp: no scan primitive for kind %v", iu.K)
 		}
-		r.scan = append(r.scan, compiledOp{prog: p, ins: []*core.IU{iu}, outs: []*core.IU{iu}})
+		r.scan = append(r.scan, compiledOp{id: scan.PrimitiveID(), prog: p, ins: []*core.IU{iu}, outs: []*core.IU{iu}})
 	}
 	for _, op := range ops {
 		if _, isScope := op.(*core.FilterScope); isScope {
@@ -181,7 +281,7 @@ func NewRun(reg *Registry, source []*core.IU, ops []core.SubOp, emit []*core.IU)
 		if !ok {
 			return nil, fmt.Errorf("interp: suboperator %q has no pre-generated primitive (enumeration invariant violated)", id)
 		}
-		co := compiledOp{prog: p, states: op.States(), ins: op.Inputs(), outs: op.Outputs(), sink: len(op.Outputs()) == 0}
+		co := compiledOp{id: id, prog: p, states: op.States(), ins: op.Inputs(), outs: op.Outputs(), sink: len(op.Outputs()) == 0}
 		for _, iu := range co.outs {
 			if _, ok := r.ws[iu.ID]; !ok {
 				r.ws[iu.ID] = storage.NewVector(iu.K, 0)
@@ -214,6 +314,13 @@ func NewRun(reg *Registry, source []*core.IU, ops []core.SubOp, emit []*core.IU)
 	}
 	r.scan = all[:len(r.scan)]
 	r.ops = all[len(r.scan):]
+	// Pre-wire the emit column list: the ws vectors are stable pointers, so
+	// the per-chunk emit tail reads them without allocating.
+	r.emitVecs = make([]*storage.Vector, len(r.emit))
+	for i, iu := range r.emit {
+		r.emitVecs[i] = r.ws[iu.ID]
+	}
+	r.scanIn = make([]*storage.Vector, 1)
 	return r, nil
 }
 
@@ -222,11 +329,35 @@ func NewRun(reg *Registry, source []*core.IU, ops []core.SubOp, emit []*core.IU)
 // receives the emitted columns (may be nil for pure sinks). Returns emitted
 // rows.
 func (r *Run) RunChunk(ctx *vm.Ctx, srcVecs []*storage.Vector, n int, out *storage.Chunk) int {
+	// The profiler off-path is this single nil check; an enabled profiler
+	// adds a counter/modulo between samples.
+	if p := r.prof; p != nil && p.tick() {
+		r.runStepsProfiled(ctx, srcVecs, n)
+	} else {
+		r.runSteps(ctx, srcVecs, n)
+	}
+	if len(r.emit) == 0 || out == nil {
+		return 0
+	}
+	en := 0
+	for _, v := range r.emitVecs {
+		en = v.Len()
+	}
+	bytes := out.AppendFromVectors(r.emitVecs, en)
+	ctx.Counters.MaterializedBytes += bytes
+	ctx.Counters.EmittedRows += int64(en)
+	return en
+}
+
+// runSteps pushes the chunk through the scan and suboperator primitives —
+// the untimed hot path.
+func (r *Run) runSteps(ctx *vm.Ctx, srcVecs []*storage.Vector, n int) {
 	// Materialize the source into the first tuple buffer via the generated
 	// scan primitives (paper Fig 3, step 1).
 	for i, co := range r.scan {
 		r.outChunks[i].Reset()
-		co.prog.Run(ctx, co.states, []*storage.Vector{srcVecs[i]}, n, r.outChunks[i])
+		r.scanIn[0] = srcVecs[i]
+		co.prog.Run(ctx, co.states, r.scanIn, n, r.outChunks[i])
 		ctx.Counters.PrimitiveCalls++
 	}
 	base := len(r.scan)
@@ -245,17 +376,40 @@ func (r *Run) RunChunk(ctx *vm.Ctx, srcVecs []*storage.Vector, n int, out *stora
 		co.prog.Run(ctx, co.states, ins, cn, chunk)
 		ctx.Counters.PrimitiveCalls++
 	}
-	if len(r.emit) == 0 || out == nil {
-		return 0
+}
+
+// runStepsProfiled is runSteps with per-primitive timing, attributing
+// nanoseconds and input tuples to each suboperator's sample slot.
+func (r *Run) runStepsProfiled(ctx *vm.Ctx, srcVecs []*storage.Vector, n int) {
+	p := r.prof
+	for i, co := range r.scan {
+		r.outChunks[i].Reset()
+		r.scanIn[0] = srcVecs[i]
+		t0 := time.Now()
+		co.prog.Run(ctx, co.states, r.scanIn, n, r.outChunks[i])
+		s := &p.samples[i]
+		s.Nanos += time.Since(t0).Nanoseconds()
+		s.Calls++
+		s.Tuples += int64(n)
+		ctx.Counters.PrimitiveCalls++
 	}
-	vs := make([]*storage.Vector, len(r.emit))
-	en := 0
-	for i, iu := range r.emit {
-		vs[i] = r.ws[iu.ID]
-		en = vs[i].Len()
+	base := len(r.scan)
+	for i, co := range r.ops {
+		ins := r.inVecs[base+i]
+		cn := n
+		if len(ins) > 0 {
+			cn = ins[0].Len()
+		}
+		chunk := r.outChunks[base+i]
+		if chunk != nil {
+			chunk.Reset()
+		}
+		t0 := time.Now()
+		co.prog.Run(ctx, co.states, ins, cn, chunk)
+		s := &p.samples[base+i]
+		s.Nanos += time.Since(t0).Nanoseconds()
+		s.Calls++
+		s.Tuples += int64(cn)
+		ctx.Counters.PrimitiveCalls++
 	}
-	bytes := out.AppendFromVectors(vs, en)
-	ctx.Counters.MaterializedBytes += bytes
-	ctx.Counters.EmittedRows += int64(en)
-	return en
 }

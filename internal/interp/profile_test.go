@@ -1,0 +1,181 @@
+package interp
+
+// Tests for the sampled per-suboperator profiler: attribution must be exact
+// in calls/tuples, sampling must honour the period, merging must preserve
+// pipeline order, and — the perf contract — the off-path must not allocate
+// or change results.
+
+import (
+	"testing"
+
+	"inkfuse/internal/core"
+	"inkfuse/internal/ir"
+	"inkfuse/internal/rt"
+	"inkfuse/internal/storage"
+	"inkfuse/internal/types"
+	"inkfuse/internal/vm"
+)
+
+// profRun builds a two-suboperator arithmetic Run over float64 columns.
+func profRun(t *testing.T) (*Run, []*storage.Vector, *storage.Chunk) {
+	t.Helper()
+	reg := registry(t)
+	a := core.NewIU(types.Float64, "a")
+	b := core.NewIU(types.Float64, "b")
+	sum := core.NewIU(types.Float64, "sum")
+	dbl := core.NewIU(types.Float64, "dbl")
+	two := rt.ConstF64(2)
+	ops := []core.SubOp{
+		&core.Arith{Op: ir.Add, L: core.Col(a), R: core.Col(b), Out: sum},
+		&core.Arith{Op: ir.Mul, L: core.Col(sum), R: core.ConstOf(two), Out: dbl},
+	}
+	run, err := NewRun(reg, []*core.IU{a, b}, ops, []*core.IU{dbl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	av := storage.NewVector(types.Float64, n)
+	bv := storage.NewVector(types.Float64, n)
+	for i := 0; i < n; i++ {
+		av.F64[i] = float64(i)
+		bv.F64[i] = float64(10 * i)
+	}
+	return run, []*storage.Vector{av, bv}, storage.NewChunk([]types.Kind{types.Float64})
+}
+
+func TestProfileAttribution(t *testing.T) {
+	run, src, out := profRun(t)
+	p := run.EnableProfile(1) // sample every chunk
+	ctx := vm.NewCtx()
+	const chunks, rows = 5, 64
+	for i := 0; i < chunks; i++ {
+		out.Reset()
+		if n := run.RunChunk(ctx, src, rows, out); n != rows {
+			t.Fatalf("chunk %d emitted %d rows", i, n)
+		}
+	}
+	if p.Chunks != chunks || p.Sampled != chunks {
+		t.Fatalf("chunks=%d sampled=%d, want %d/%d", p.Chunks, p.Sampled, chunks, chunks)
+	}
+	samples := p.Samples()
+	// 2 scan primitives (a, b) + 2 arithmetic suboperators.
+	if len(samples) != 4 {
+		t.Fatalf("got %d samples: %+v", len(samples), samples)
+	}
+	for i, s := range samples {
+		if s.ID == "" {
+			t.Fatalf("sample %d has no primitive ID", i)
+		}
+		if s.Calls != chunks || s.Tuples != chunks*rows {
+			t.Fatalf("sample %s: calls=%d tuples=%d, want %d/%d", s.ID, s.Calls, s.Tuples, chunks, chunks*rows)
+		}
+		if s.Nanos < 0 {
+			t.Fatalf("sample %s: negative nanos", s.ID)
+		}
+	}
+	// The arithmetic samples carry the suboperator enumeration IDs in
+	// pipeline order: two tscans, then add, then mul.
+	if samples[2].ID == samples[3].ID {
+		t.Fatalf("distinct suboperators share an ID: %q", samples[2].ID)
+	}
+}
+
+func TestProfileSamplingPeriod(t *testing.T) {
+	run, src, out := profRun(t)
+	p := run.EnableProfile(4)
+	ctx := vm.NewCtx()
+	for i := 0; i < 8; i++ {
+		out.Reset()
+		run.RunChunk(ctx, src, 64, out)
+	}
+	if p.Chunks != 8 || p.Sampled != 2 {
+		t.Fatalf("chunks=%d sampled=%d, want 8/2", p.Chunks, p.Sampled)
+	}
+	for _, s := range p.Samples() {
+		if s.Calls != 2 {
+			t.Fatalf("sample %s: calls=%d, want 2 (one per sampled chunk)", s.ID, s.Calls)
+		}
+	}
+	if every := run.EnableProfile(0).Every; every != DefaultProfileEvery {
+		t.Fatalf("default sampling period = %d, want %d", every, DefaultProfileEvery)
+	}
+}
+
+func TestProfiledResultsUnchanged(t *testing.T) {
+	plain, src, outPlain := profRun(t)
+	profiled, _, outProf := profRun(t)
+	profiled.EnableProfile(1)
+	ctxA, ctxB := vm.NewCtx(), vm.NewCtx()
+	plain.RunChunk(ctxA, src, 64, outPlain)
+	profiled.RunChunk(ctxB, src, 64, outProf)
+	if outPlain.Rows() != outProf.Rows() {
+		t.Fatalf("row mismatch: %d vs %d", outPlain.Rows(), outProf.Rows())
+	}
+	for i := 0; i < outPlain.Rows(); i++ {
+		if outPlain.Cols[0].F64[i] != outProf.Cols[0].F64[i] {
+			t.Fatalf("row %d: %v vs %v", i, outPlain.Cols[0].F64[i], outProf.Cols[0].F64[i])
+		}
+	}
+	if ctxA.Counters.PrimitiveCalls != ctxB.Counters.PrimitiveCalls {
+		t.Fatalf("counter drift: %d vs %d", ctxA.Counters.PrimitiveCalls, ctxB.Counters.PrimitiveCalls)
+	}
+}
+
+func TestMergeProfiles(t *testing.T) {
+	runA, src, out := profRun(t)
+	runB, _, _ := profRun(t)
+	pa := runA.EnableProfile(1)
+	pb := runB.EnableProfile(1)
+	ctx := vm.NewCtx()
+	out.Reset()
+	runA.RunChunk(ctx, src, 64, out)
+	out.Reset()
+	runB.RunChunk(ctx, src, 64, out)
+	out.Reset()
+	runB.RunChunk(ctx, src, 64, out)
+
+	merged := MergeProfiles([]*Profile{pa, nil, pb})
+	if len(merged) != 4 {
+		t.Fatalf("merged %d samples", len(merged))
+	}
+	for _, s := range merged {
+		if s.Calls != 3 || s.Tuples != 3*64 {
+			t.Fatalf("merged sample %s: calls=%d tuples=%d, want 3/%d", s.ID, s.Calls, s.Tuples, 3*64)
+		}
+	}
+	if MergeProfiles(nil) != nil {
+		t.Fatal("merging nothing must yield nil")
+	}
+}
+
+// TestProfilerOffPathNoAllocs is the benchmark guard's alloc half: with the
+// profiler off (the default), RunChunk must not allocate per chunk — the
+// emit column list is pre-wired and the off-path is one nil check.
+func TestProfilerOffPathNoAllocs(t *testing.T) {
+	run, src, out := profRun(t)
+	ctx := vm.NewCtx()
+	// Warm-up: grow the output chunk and fault in the vm frames.
+	run.RunChunk(ctx, src, 64, out)
+	allocs := testing.AllocsPerRun(200, func() {
+		out.Reset()
+		run.RunChunk(ctx, src, 64, out)
+	})
+	if allocs != 0 {
+		t.Fatalf("profiler-off RunChunk allocates %.1f per chunk, want 0", allocs)
+	}
+}
+
+// The profiler-on path may allocate only at enable time, never per chunk.
+func TestProfilerOnPathNoPerChunkAllocs(t *testing.T) {
+	run, src, out := profRun(t)
+	run.EnableProfile(1)
+	ctx := vm.NewCtx()
+	run.RunChunk(ctx, src, 64, out)
+	allocs := testing.AllocsPerRun(200, func() {
+		out.Reset()
+		run.RunChunk(ctx, src, 64, out)
+	})
+	if allocs != 0 {
+		t.Fatalf("profiled RunChunk allocates %.1f per chunk, want 0", allocs)
+	}
+}

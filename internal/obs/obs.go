@@ -1,0 +1,286 @@
+// Package obs is the serving-grade observability layer on top of
+// internal/metrics: lock-free fixed-bucket histograms for latency and
+// throughput distributions, grouped into label families (one child per
+// execution backend), with p50/p90/p99 summaries and a Prometheus
+// text-exposition renderer that folds in the flat engine counters.
+//
+// The recording discipline matches the rest of the engine's observability
+// stack: histograms are fed at morsel granularity or coarser (never per row
+// or per chunk), and an observation is two atomic adds plus a binary search
+// over ~25 bucket bounds — no locks, no allocations, safe for every worker
+// concurrently.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"inkfuse/internal/metrics"
+)
+
+// LatencyBounds are the default histogram bounds for durations, in seconds:
+// a 1-2-5 series from 1µs to 100s. Morsels land in the µs-ms decades,
+// queries in the ms-s decades; one layout serves both so summaries are
+// comparable.
+var LatencyBounds = decades(1e-6, 1e2)
+
+// ThroughputBounds are the default bounds for rates (rows/sec): a 1-2-5
+// series from 1K/s to 10G/s.
+var ThroughputBounds = decades(1e3, 1e10)
+
+// decades builds a 1-2-5 series covering [lo, hi].
+func decades(lo, hi float64) []float64 {
+	var out []float64
+	for d := lo; d <= hi*1.0001; d *= 10 {
+		for _, m := range []float64{1, 2, 5} {
+			if v := d * m; v <= hi*1.0001 {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// atomicFloat is a float64 accumulated with CAS (for histogram sums).
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		if f.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram. Buckets hold the count of
+// observations v <= bound[i] (non-cumulative internally; rendered
+// cumulatively, Prometheus-style, with a +Inf overflow bucket). All methods
+// are safe for concurrent use.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    atomicFloat
+	count  atomic.Int64
+}
+
+// NewHistogram creates a histogram over the given ascending bucket bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.counts[sort.SearchFloat64s(h.bounds, v)].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// inside the bucket holding the target rank. Values in the +Inf bucket clamp
+// to the highest bound. Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if cum+c < rank || c == 0 {
+			cum += c
+			continue
+		}
+		if i >= len(h.bounds) {
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		return lo + (h.bounds[i]-lo)*(rank-cum)/c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Summary is the compact quantile view of a histogram.
+type Summary struct {
+	Count         int64
+	Sum           float64
+	P50, P90, P99 float64
+}
+
+// Summarize estimates the standard serving quantiles.
+func (h *Histogram) Summarize() Summary {
+	return Summary{
+		Count: h.Count(), Sum: h.Sum(),
+		P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+	}
+}
+
+// Family is one named histogram metric with a single label dimension
+// ("backend"); children are created on first use and live forever, matching
+// the bounded backend cardinality.
+type Family struct {
+	Name string
+	Help string
+
+	bounds []float64
+	mu     sync.RWMutex
+	kids   map[string]*Histogram
+}
+
+// NewFamily creates an empty labeled histogram family.
+func NewFamily(name, help string, bounds []float64) *Family {
+	return &Family{Name: name, Help: help, bounds: bounds, kids: map[string]*Histogram{}}
+}
+
+// With returns the child histogram for a label value, creating it on first
+// use. Callers on hot paths resolve the child once (per query or pipeline)
+// and then observe through the returned pointer.
+func (f *Family) With(label string) *Histogram {
+	f.mu.RLock()
+	h := f.kids[label]
+	f.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if h = f.kids[label]; h == nil {
+		h = NewHistogram(f.bounds)
+		f.kids[label] = h
+	}
+	return h
+}
+
+// labels returns the child label values, sorted for deterministic rendering.
+func (f *Family) labels() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]string, 0, len(f.kids))
+	for l := range f.kids {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Registry groups the engine's histogram families. The exported distributions
+// are labeled by backend only: per-pipeline and per-suboperator breakdowns
+// have unbounded name cardinality and live in the per-query trace /
+// EXPLAIN ANALYZE instead (DESIGN.md §9).
+type Registry struct {
+	// QueryLatency is end-to-end query wall time, per backend.
+	QueryLatency *Family
+	// MorselLatency is per-morsel execution time (the scheduler's unit of
+	// work), per backend. Fed once per morsel.
+	MorselLatency *Family
+	// QueryRows is per-query source-tuple throughput (rows/sec), per backend.
+	QueryRows *Family
+}
+
+// NewRegistry creates an empty histogram registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		QueryLatency:  NewFamily("inkfuse_query_seconds", "End-to-end query latency by backend.", LatencyBounds),
+		MorselLatency: NewFamily("inkfuse_morsel_seconds", "Per-morsel execution latency by backend.", LatencyBounds),
+		QueryRows:     NewFamily("inkfuse_query_rows_per_second", "Per-query source-row throughput by backend.", ThroughputBounds),
+	}
+}
+
+// Default is the process-wide histogram registry, fed by internal/exec from
+// the same end-of-query hook as the flat metrics counters (plus one
+// per-morsel latency observation from the scheduler).
+var Default = NewRegistry()
+
+// ObserveQuery folds one finished query into the registry: wall-time latency
+// and source-row throughput. Called once per query, success or failure.
+func (r *Registry) ObserveQuery(backend string, wall time.Duration, tuples int64) {
+	r.QueryLatency.With(backend).ObserveDuration(wall)
+	if s := wall.Seconds(); s > 0 && tuples > 0 {
+		r.QueryRows.With(backend).Observe(float64(tuples) / s)
+	}
+}
+
+// gauges names the flat counters that are point-in-time values rather than
+// monotonic counters, for exposition typing.
+var gauges = map[string]bool{"inkfuse_mem_peak_bytes": true}
+
+// PrometheusText renders the whole observability surface in Prometheus text
+// exposition format: the flat engine counters of internal/metrics followed by
+// this registry's histograms (cumulative buckets, sum, count).
+func (r *Registry) PrometheusText() string {
+	var b strings.Builder
+	for _, line := range strings.Split(strings.TrimSpace(metrics.Default.Dump()), "\n") {
+		name, _, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		kind := "counter"
+		if gauges[name] {
+			kind = "gauge"
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n%s\n", name, kind, line)
+	}
+	for _, f := range []*Family{r.QueryLatency, r.MorselLatency, r.QueryRows} {
+		writeFamily(&b, f)
+	}
+	return b.String()
+}
+
+func writeFamily(b *strings.Builder, f *Family) {
+	labels := f.labels()
+	if len(labels) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", f.Name, f.Help, f.Name)
+	for _, l := range labels {
+		h := f.With(l)
+		var cum int64
+		for i, bound := range h.bounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(b, "%s_bucket{backend=%q,le=%q} %d\n", f.Name, l, formatBound(bound), cum)
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		fmt.Fprintf(b, "%s_bucket{backend=%q,le=\"+Inf\"} %d\n", f.Name, l, cum)
+		fmt.Fprintf(b, "%s_sum{backend=%q} %g\n", f.Name, l, h.Sum())
+		fmt.Fprintf(b, "%s_count{backend=%q} %d\n", f.Name, l, h.Count())
+	}
+}
+
+// formatBound renders a bucket bound without float noise ("0.001", "50000").
+func formatBound(v float64) string {
+	return fmt.Sprintf("%g", v)
+}
+
+// SummaryText renders the families' quantile summaries as human-readable
+// lines — the compact view for logs and CLIs.
+func (r *Registry) SummaryText() string {
+	var b strings.Builder
+	for _, f := range []*Family{r.QueryLatency, r.MorselLatency, r.QueryRows} {
+		for _, l := range f.labels() {
+			s := f.With(l).Summarize()
+			fmt.Fprintf(&b, "%s{backend=%q} count=%d p50=%g p90=%g p99=%g\n",
+				f.Name, l, s.Count, s.P50, s.P90, s.P99)
+		}
+	}
+	return b.String()
+}

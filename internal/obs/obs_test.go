@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDecadesLayout(t *testing.T) {
+	b := decades(1e-3, 1e0)
+	want := []float64{0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1}
+	if len(b) != len(want) {
+		t.Fatalf("bounds %v, want %v", b, want)
+	}
+	for i := range b {
+		if math.Abs(b[i]-want[i]) > 1e-12 {
+			t.Fatalf("bound %d = %g, want %g", i, b[i], want[i])
+		}
+	}
+	for i := 1; i < len(LatencyBounds); i++ {
+		if LatencyBounds[i] <= LatencyBounds[i-1] {
+			t.Fatalf("LatencyBounds not ascending at %d: %v", i, LatencyBounds)
+		}
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 5, 10})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 7, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got, want := h.Sum(), 113.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	// Bucket layout: le=1 gets {0.5, 1}, le=2 gets {1.5}, le=5 gets {3},
+	// le=10 gets {7}, +Inf gets {100}.
+	for i, want := range []int64{2, 1, 1, 1, 1} {
+		if got := h.counts[i].Load(); got != want {
+			t.Fatalf("bucket %d = %d, want %d", i, got, want)
+		}
+	}
+	if q := h.Quantile(0.99); q != 10 {
+		t.Fatalf("p99 = %g, want clamp to highest bound 10", q)
+	}
+	if q := h.Quantile(0.5); q <= 0 || q > 2 {
+		t.Fatalf("p50 = %g, want within (0, 2]", q)
+	}
+	if (Summary{}) == h.Summarize() {
+		t.Fatal("summary empty")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(LatencyBounds)
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("empty histogram must read as zeros")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(LatencyBounds)
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.ObserveDuration(time.Duration(w*i%1_000_000) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+	var sum int64
+	for i := range h.counts {
+		sum += h.counts[i].Load()
+	}
+	if sum != workers*per {
+		t.Fatalf("bucket sum = %d, want %d", sum, workers*per)
+	}
+}
+
+func TestFamilyChildrenAndRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.ObserveQuery("hybrid", 20*time.Millisecond, 1_000_000)
+	r.ObserveQuery("hybrid", 40*time.Millisecond, 2_000_000)
+	r.ObserveQuery("vectorized", 5*time.Millisecond, 500_000)
+	r.MorselLatency.With("hybrid").ObserveDuration(300 * time.Microsecond)
+
+	if got := r.QueryLatency.With("hybrid").Count(); got != 2 {
+		t.Fatalf("hybrid query count = %d", got)
+	}
+	if got := r.QueryRows.With("vectorized").Count(); got != 1 {
+		t.Fatalf("vectorized throughput count = %d", got)
+	}
+	// Zero-wall / zero-tuple queries must not feed a nonsense rate.
+	r.ObserveQuery("rof", 10*time.Millisecond, 0)
+	if got := r.QueryRows.With("rof").Count(); got != 0 {
+		t.Fatalf("zero-tuple query fed the throughput histogram: %d", got)
+	}
+	if !strings.Contains(r.SummaryText(), `inkfuse_query_seconds{backend="hybrid"} count=2`) {
+		t.Fatalf("summary text:\n%s", r.SummaryText())
+	}
+}
+
+func TestPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	r.ObserveQuery("hybrid", 3*time.Millisecond, 100_000)
+	out := r.PrometheusText()
+	for _, want := range []string{
+		"# TYPE inkfuse_queries_started counter",
+		"# TYPE inkfuse_mem_peak_bytes gauge",
+		"# TYPE inkfuse_query_seconds histogram",
+		`inkfuse_query_seconds_bucket{backend="hybrid",le="0.005"} 1`,
+		`inkfuse_query_seconds_bucket{backend="hybrid",le="+Inf"} 1`,
+		`inkfuse_query_seconds_count{backend="hybrid"} 1`,
+		`inkfuse_query_rows_per_second_count{backend="hybrid"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative: each le count >= the previous.
+	r2 := NewRegistry()
+	for i := 1; i <= 50; i++ {
+		r2.QueryLatency.With("rof").Observe(float64(i) * 1e-4)
+	}
+	var prev int64 = -1
+	for _, line := range strings.Split(r2.PrometheusText(), "\n") {
+		if !strings.HasPrefix(line, `inkfuse_query_seconds_bucket{backend="rof"`) {
+			continue
+		}
+		n, err := strconv.ParseInt(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("unparseable bucket line %q: %v", line, err)
+		}
+		if n < prev {
+			t.Fatalf("buckets not cumulative: %q after %d", line, prev)
+		}
+		prev = n
+	}
+	if prev != 50 {
+		t.Fatalf("final cumulative bucket = %d, want 50", prev)
+	}
+}

@@ -1,0 +1,385 @@
+// Package serve implements inkserve, the long-running HTTP engine server:
+// JSON queries over a resident TPC-H catalog executed through
+// exec.ExecuteContext with per-request timeout, memory budget and backend
+// selection; Prometheus text exposition on /metrics; health and liveness on
+// /healthz; and the Go profiling endpoints under /debug/pprof.
+//
+// The server is a thin stateless shell around the engine: every request is
+// one query, isolated by the executor's cancellation/panic/budget machinery,
+// so a failing request returns a structured error while the process and
+// concurrent requests keep serving. A structured query log (log/slog) records
+// every query with its latency; queries slower than Config.SlowQuery log at
+// Warn.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+
+	"inkfuse/internal/algebra"
+	"inkfuse/internal/exec"
+	"inkfuse/internal/faultinject"
+	"inkfuse/internal/obs"
+	"inkfuse/internal/storage"
+	"inkfuse/internal/tpch"
+	"inkfuse/internal/types"
+)
+
+// Config configures an inkserve instance.
+type Config struct {
+	// SF / Seed parameterize the resident TPC-H catalog (SF 0.1 ≈ 600k
+	// lineitem rows). SF <= 0 defaults to 0.1.
+	SF   float64
+	Seed uint64
+	// DefaultBackend serves requests that do not name one ("" = hybrid).
+	DefaultBackend string
+	// DefaultTimeout bounds requests that do not set timeout_ms (0 = none
+	// beyond the client connection's lifetime).
+	DefaultTimeout time.Duration
+	// SlowQuery is the slow-query log threshold; queries at or above it log
+	// at Warn instead of Info. 0 disables the distinction.
+	SlowQuery time.Duration
+	// MaxRows caps the result rows inlined into a response (and is itself the
+	// cap for per-request max_rows). <= 0 defaults to 100.
+	MaxRows int
+	// Logger receives the query log; nil uses slog.Default().
+	Logger *slog.Logger
+}
+
+// Server is one inkserve instance: a resident catalog plus HTTP handlers.
+type Server struct {
+	cfg Config
+	cat *storage.Catalog
+	log *slog.Logger
+
+	start    time.Time
+	seq      atomic.Int64 // request ids for the query log
+	served   atomic.Int64 // completed /query requests
+	inflight atomic.Int64
+}
+
+// New builds a server, generating the resident TPC-H catalog.
+func New(cfg Config) *Server {
+	if cfg.SF <= 0 {
+		cfg.SF = 0.1
+	}
+	if cfg.DefaultBackend == "" {
+		cfg.DefaultBackend = "hybrid"
+	}
+	if cfg.MaxRows <= 0 {
+		cfg.MaxRows = 100
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.Default()
+	}
+	return &Server{cfg: cfg, cat: tpch.Generate(cfg.SF, cfg.Seed), log: log, start: time.Now()}
+}
+
+// Handler returns the server's route table. Everything is mounted on a fresh
+// mux (nothing leaks onto http.DefaultServeMux), including the pprof and
+// expvar endpoints a production deployment scrapes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /queries", s.handleQueries)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	return mux
+}
+
+// QueryRequest is the JSON body of POST /query.
+type QueryRequest struct {
+	// Query names one of the served TPC-H queries (see GET /queries).
+	Query string `json:"query"`
+	// Backend selects the execution backend ("vectorized", "compiling",
+	// "rof", "hybrid"); empty uses the server default.
+	Backend string `json:"backend,omitempty"`
+	// TimeoutMS bounds this query's execution; 0 uses the server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// MemoryBudget caps the query's runtime-state bytes (0 = unlimited).
+	MemoryBudget int64 `json:"memory_budget,omitempty"`
+	// Workers overrides the worker count (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// Explain returns the EXPLAIN ANALYZE rendering (with the per-suboperator
+	// profile) alongside the result.
+	Explain bool `json:"explain,omitempty"`
+	// Profile enables the sampled suboperator profiler and attaches the trace
+	// dump even without Explain.
+	Profile bool `json:"profile,omitempty"`
+	// MaxRows caps the rows inlined into the response (bounded by the server
+	// cap; 0 = server cap).
+	MaxRows int `json:"max_rows,omitempty"`
+}
+
+// QueryResponse is the JSON body of a successful POST /query.
+type QueryResponse struct {
+	ID         int64    `json:"id"`
+	Query      string   `json:"query"`
+	Backend    string   `json:"backend"`
+	Rows       int      `json:"rows"`
+	WallMS     float64  `json:"wall_ms"`
+	RowsPerSec float64  `json:"rows_per_sec,omitempty"` // source tuples/sec
+	Columns    []string `json:"columns,omitempty"`
+	Data       [][]any  `json:"data,omitempty"`
+	Truncated  bool     `json:"truncated,omitempty"`
+	Warnings   []string `json:"warnings,omitempty"`
+	Explain    string   `json:"explain,omitempty"`
+	Trace      string   `json:"trace,omitempty"`
+}
+
+// ErrorResponse is the JSON body of a failed request. Kind classifies the
+// failure ("bad_request", "unknown_query", "canceled", "deadline",
+// "memory_budget", "panic", "internal"); QueryError locates engine failures.
+type ErrorResponse struct {
+	Error      string            `json:"error"`
+	Kind       string            `json:"kind"`
+	QueryError *QueryErrorDetail `json:"query_error,omitempty"`
+}
+
+// QueryErrorDetail is the serialized form of an exec.QueryError: where inside
+// the engine the query failed.
+type QueryErrorDetail struct {
+	Query    string `json:"query"`
+	Pipeline string `json:"pipeline,omitempty"`
+	Backend  string `json:"backend"`
+	Worker   int    `json:"worker"`
+	Morsel   int    `json:"morsel"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	id := s.seq.Add(1)
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	defer s.served.Add(1)
+	// Serve-layer panic isolation: the engine already converts query panics
+	// into *QueryError, so anything reaching here is a bug in the handler
+	// itself (or an injected ServeExecute/ServeRespond fault) — fail the
+	// request, keep the server.
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.log.Error("request panic recovered", "id", id, "panic", fmt.Sprint(rec))
+			writeJSON(w, http.StatusInternalServerError,
+				ErrorResponse{Error: fmt.Sprintf("internal error: %v", rec), Kind: "internal"})
+		}
+	}()
+
+	var req QueryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		s.failRequest(w, id, http.StatusBadRequest, "bad_request", fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if err := faultinject.Inject(faultinject.ServeParse); err != nil {
+		s.failRequest(w, id, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+
+	backendName := req.Backend
+	if backendName == "" {
+		backendName = s.cfg.DefaultBackend
+	}
+	backend, err := exec.ParseBackend(backendName)
+	if err != nil {
+		s.failRequest(w, id, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	node, err := tpch.Build(s.cat, req.Query)
+	if err != nil {
+		s.failRequest(w, id, http.StatusNotFound, "unknown_query", err)
+		return
+	}
+	plan, err := algebra.Lower(node, req.Query)
+	if err != nil {
+		s.failRequest(w, id, http.StatusInternalServerError, "internal", err)
+		return
+	}
+
+	opts := exec.Options{
+		Backend:      backend,
+		Workers:      req.Workers,
+		MemoryBudget: req.MemoryBudget,
+		Profile:      req.Profile,
+		Trace:        req.Profile,
+	}
+	ctx := r.Context()
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	if err := faultinject.Inject(faultinject.ServeExecute); err != nil {
+		s.failRequest(w, id, http.StatusInternalServerError, "internal", err)
+		return
+	}
+	var (
+		res     *exec.Result
+		explain string
+	)
+	if req.Explain {
+		explain, res, err = exec.ExplainAnalyze(ctx, plan, opts)
+	} else {
+		res, err = exec.ExecuteContext(ctx, plan, opts)
+	}
+
+	wall := time.Duration(0)
+	if res != nil {
+		wall = res.Wall
+	}
+	if err != nil {
+		status, kind := classify(err)
+		s.logQuery(id, req.Query, backendName, wall, res, err)
+		resp := ErrorResponse{Error: err.Error(), Kind: kind}
+		var qe *exec.QueryError
+		if errors.As(err, &qe) {
+			resp.QueryError = &QueryErrorDetail{
+				Query: qe.Query, Pipeline: qe.Pipeline, Backend: qe.Backend.String(),
+				Worker: qe.Worker, Morsel: qe.Morsel,
+			}
+		}
+		writeJSON(w, status, resp)
+		return
+	}
+
+	maxRows := req.MaxRows
+	if maxRows <= 0 || maxRows > s.cfg.MaxRows {
+		maxRows = s.cfg.MaxRows
+	}
+	resp := QueryResponse{
+		ID: id, Query: req.Query, Backend: backendName,
+		Rows: res.Rows(), WallMS: float64(wall) / float64(time.Millisecond),
+		Columns: res.Cols, Explain: explain,
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		resp.RowsPerSec = float64(res.Stats.Tuples) / secs
+	}
+	for _, warn := range res.Warnings {
+		resp.Warnings = append(resp.Warnings, warn.Error())
+	}
+	if req.Profile && res.Trace != nil {
+		resp.Trace = res.Trace.Dump()
+	}
+	if res.Chunk != nil {
+		n := res.Rows()
+		if n > maxRows {
+			n = maxRows
+			resp.Truncated = true
+		}
+		resp.Data = make([][]any, n)
+		for i := 0; i < n; i++ {
+			resp.Data[i] = renderRow(res.Chunk, i)
+		}
+	}
+	s.logQuery(id, req.Query, backendName, wall, res, nil)
+	if err := faultinject.Inject(faultinject.ServeRespond); err != nil {
+		s.failRequest(w, id, http.StatusInternalServerError, "internal", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// renderRow converts one result row to JSON scalars, rendering Date columns
+// in calendar form.
+func renderRow(c *storage.Chunk, i int) []any {
+	row := c.Row(i)
+	for j, col := range c.Cols {
+		if col.Kind == types.Date {
+			row[j] = types.DateString(col.I32[i])
+		}
+	}
+	return row
+}
+
+// classify maps an engine error onto an HTTP status and error kind.
+func classify(err error) (int, string) {
+	switch {
+	case errors.Is(err, exec.ErrDeadlineExceeded):
+		return http.StatusGatewayTimeout, "deadline"
+	case errors.Is(err, exec.ErrCanceled):
+		return http.StatusGatewayTimeout, "canceled"
+	case errors.Is(err, exec.ErrMemoryBudget):
+		return http.StatusInternalServerError, "memory_budget"
+	case errors.Is(err, exec.ErrPanic):
+		return http.StatusInternalServerError, "panic"
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+// failRequest logs and writes a pre-execution failure.
+func (s *Server) failRequest(w http.ResponseWriter, id int64, status int, kind string, err error) {
+	s.log.Info("request rejected", "id", id, "kind", kind, "err", err.Error())
+	writeJSON(w, status, ErrorResponse{Error: err.Error(), Kind: kind})
+}
+
+// logQuery writes the structured query-log line; slow queries log at Warn.
+func (s *Server) logQuery(id int64, query, backend string, wall time.Duration, res *exec.Result, err error) {
+	attrs := []any{"id", id, "query", query, "backend", backend, "wall", wall}
+	if res != nil {
+		attrs = append(attrs, "rows", res.Rows(), "tuples", res.Stats.Tuples)
+		if len(res.Warnings) > 0 {
+			attrs = append(attrs, "degraded", true)
+		}
+	}
+	if err != nil {
+		attrs = append(attrs, "err", err.Error())
+		s.log.Error("query failed", attrs...)
+		return
+	}
+	if s.cfg.SlowQuery > 0 && wall >= s.cfg.SlowQuery {
+		attrs = append(attrs, "slow_threshold", s.cfg.SlowQuery)
+		s.log.Warn("slow query", attrs...)
+		return
+	}
+	s.log.Info("query served", attrs...)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, obs.Default.PrometheusText())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.start).Seconds(),
+		"sf":       s.cfg.SF,
+		"served":   s.served.Load(),
+		"inflight": s.inflight.Load(),
+	})
+}
+
+func (s *Server) handleQueries(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"queries":         tpch.Queries,
+		"backends":        []string{"vectorized", "compiling", "rof", "hybrid"},
+		"default_backend": s.cfg.DefaultBackend,
+		"max_rows":        s.cfg.MaxRows,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -63,6 +63,32 @@ type Pipeline struct {
 	// ArtifactReady is the offset from Query.Begin at which the hybrid
 	// background artifact became available (0 = never landed).
 	ArtifactReady time.Duration
+	// SubOps is the sampled per-suboperator profile, merged across workers in
+	// pipeline order; present only when the suboperator profiler ran (backends
+	// serving through the vectorized interpreter with profiling enabled).
+	SubOps []SubOpProf
+	// ProfileEvery / ProfiledChunks describe the sample behind SubOps: one in
+	// every ProfileEvery chunks was timed, ProfiledChunks in total.
+	ProfileEvery   int
+	ProfiledChunks int64
+}
+
+// SubOpProf is one suboperator's share of a pipeline's sampled profile: the
+// primitive identity plus the calls, input tuples and nanoseconds attributed
+// to it over the timed chunks.
+type SubOpProf struct {
+	ID     string
+	Calls  int64
+	Tuples int64
+	Nanos  int64
+}
+
+// NanosPerTuple is the attributed cost per input tuple (0 when no tuples).
+func (s SubOpProf) NanosPerTuple() float64 {
+	if s.Tuples == 0 {
+		return 0
+	}
+	return float64(s.Nanos) / float64(s.Tuples)
 }
 
 // Worker is one worker's share of a pipeline.
@@ -222,6 +248,21 @@ func (q *Query) Dump() string {
 				b.WriteString(" DEGRADED")
 			}
 			b.WriteByte('\n')
+		}
+		if len(p.SubOps) > 0 {
+			var total int64
+			for _, s := range p.SubOps {
+				total += s.Nanos
+			}
+			fmt.Fprintf(&b, "  subops: sampled 1/%d chunks (%d profiled)\n", p.ProfileEvery, p.ProfiledChunks)
+			for _, s := range p.SubOps {
+				share := 0.0
+				if total > 0 {
+					share = 100 * float64(s.Nanos) / float64(total)
+				}
+				fmt.Fprintf(&b, "    %-44s %5.1f%% %10v  calls=%-6d tuples=%-9d ns/tuple=%.1f\n",
+					s.ID, share, time.Duration(s.Nanos).Round(time.Microsecond), s.Calls, s.Tuples, s.NanosPerTuple())
+			}
 		}
 		for w := range p.Workers {
 			ws := &p.Workers[w]

@@ -132,9 +132,11 @@ func (o operand[T]) load(fr *frame, n int) []T {
 	if o.isCol {
 		return o.get(fr.vecs[o.slot])[:n]
 	}
-	// Broadcast the constant into this frame's reusable buffer.
+	// Broadcast the constant into this frame's reusable buffer (pointer-boxed
+	// in aux so refilling it never re-boxes, see auxSlice).
 	c := o.cget(fr.state)
-	b, _ := fr.aux[o.aux].([]T)
+	bp := auxSlice[T](fr, o.aux)
+	b := *bp
 	if cap(b) < n {
 		b = make([]T, n)
 	}
@@ -142,7 +144,7 @@ func (o operand[T]) load(fr *frame, n int) []T {
 	for i := range b {
 		b[i] = c
 	}
-	fr.aux[o.aux] = b
+	*bp = b
 	return b
 }
 

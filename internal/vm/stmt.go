@@ -309,12 +309,12 @@ func (c *compiler) stmt(s ir.Stmt, blk *[]exec) error {
 		}
 		vecAux := c.newAux()
 		*blk = append(*blk, func(fr *frame, n int) {
-			vs, _ := fr.aux[vecAux].([]*storage.Vector)
-			vs = vs[:0]
+			vsp := auxSlice[*storage.Vector](fr, vecAux)
+			vs := (*vsp)[:0]
 			for _, sl := range slots {
 				vs = append(vs, fr.vecs[sl])
 			}
-			fr.aux[vecAux] = vs
+			*vsp = vs
 			bytes := fr.out.AppendFromVectors(vs, n)
 			fr.emitted += n
 			fr.ctx.Counters.EmittedRows += int64(n)

@@ -135,25 +135,32 @@ func runBlock(b []exec, fr *frame, n int) {
 	}
 }
 
-// auxSel returns the k-th auxiliary int32 buffer, creating it on first use.
+// auxSlice returns the k-th auxiliary buffer's pointer box, creating it on
+// first use. Aux slots hold *[]T rather than []T: callers mutate the slice
+// through the pointer, so steady-state primitive calls never re-box a slice
+// header into the `any` slot — re-boxing would allocate on every invocation,
+// which is exactly the per-chunk overhead the interpreter must not have.
+func auxSlice[T any](fr *frame, k int) *[]T {
+	if fr.aux[k] == nil {
+		fr.aux[k] = new([]T)
+	}
+	return fr.aux[k].(*[]T)
+}
+
+// auxSel returns the k-th auxiliary int32 selection buffer, reset to length
+// zero; write the grown slice back through putAuxSel.
 func (fr *frame) auxSel(k int) []int32 {
-	if fr.aux[k] == nil {
-		fr.aux[k] = make([]int32, 0, 1024)
-	}
-	return fr.aux[k].([]int32)[:0]
+	return (*auxSlice[int32](fr, k))[:0]
 }
 
-func (fr *frame) putAuxSel(k int, s []int32) { fr.aux[k] = s }
+func (fr *frame) putAuxSel(k int, s []int32) { *auxSlice[int32](fr, k) = s }
 
-// auxRows returns the k-th auxiliary row buffer.
+// auxRows returns the k-th auxiliary row buffer, reset to length zero.
 func (fr *frame) auxRows(k int) [][]byte {
-	if fr.aux[k] == nil {
-		fr.aux[k] = make([][]byte, 0, 1024)
-	}
-	return fr.aux[k].([][]byte)[:0]
+	return (*auxSlice[[]byte](fr, k))[:0]
 }
 
-func (fr *frame) putAuxRows(k int, s [][]byte) { fr.aux[k] = s }
+func (fr *frame) putAuxRows(k int, s [][]byte) { *auxSlice[[]byte](fr, k) = s }
 
 // Compile translates an IR function into an executable program.
 func Compile(f *ir.Func) (*Program, error) {

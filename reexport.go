@@ -166,6 +166,10 @@ type (
 	// EWMASample is one hybrid routing decision with the throughput
 	// estimates that drove it.
 	EWMASample = trace.EWMASample
+	// SubOpProf is one suboperator's sampled profile within a pipeline
+	// trace (Options.Profile → PipelineTrace.SubOps): calls, tuples and
+	// nanoseconds attributed over the sampled chunks.
+	SubOpProf = trace.SubOpProf
 	// MetricsValues is a snapshot of the engine-wide metrics registry.
 	MetricsValues = metrics.Snapshot
 )

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# bench.sh — run the committed benchmark grid: every supported TPC-H query on
+# all four backends, median-of-N wall time and rows/sec as JSON.
+#
+#   scripts/bench.sh [out.json]      # default out: BENCH_PR4.json
+#   SF=0.05 RUNS=5 scripts/bench.sh  # override scale factor / repetitions
+#
+# Absolute numbers are host-dependent; the committed artifact records the
+# shape (who wins per query, compile-wait share) for trend comparison.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR4.json}"
+sf="${SF:-0.1}"
+runs="${RUNS:-3}"
+
+echo "bench: SF ${sf}, ${runs} runs/cell, 8 queries x 4 backends" >&2
+go run ./cmd/inkbench -json -sf "$sf" -runs "$runs" > "$out"
+echo "bench: wrote $out" >&2

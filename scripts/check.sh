@@ -20,3 +20,33 @@ go test -race ./...
 for _ in 1 2 3; do
     go test -count=1 -run Determinism -race ./internal/exec/
 done
+
+# inkserve smoke test: start the server on a random port with a tiny catalog,
+# run one query over HTTP, and assert the /metrics exposition advanced (query
+# counter and per-backend latency histogram).
+echo "inkserve smoke test..."
+go build -o /tmp/inkserve-smoke ./cmd/inkserve
+/tmp/inkserve-smoke -addr 127.0.0.1:0 -sf 0.01 >/tmp/inkserve-smoke.out 2>/tmp/inkserve-smoke.log &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's|^inkserve: listening on http://||p' /tmp/inkserve-smoke.out)
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "inkserve did not come up" >&2
+    cat /tmp/inkserve-smoke.log >&2
+    exit 1
+fi
+body=$(curl -sf "http://$addr/query" -d '{"query":"q6","backend":"vectorized"}')
+echo "$body" | grep -q '"rows"' || { echo "query response malformed: $body" >&2; exit 1; }
+metrics=$(curl -sf "http://$addr/metrics")
+echo "$metrics" | grep -q '^inkfuse_queries_succeeded [1-9]' \
+    || { echo "/metrics query counter did not advance" >&2; exit 1; }
+echo "$metrics" | grep -q 'inkfuse_query_seconds_bucket{backend="vectorized",le="+Inf"} [1-9]' \
+    || { echo "/metrics latency histogram did not advance" >&2; exit 1; }
+kill "$serve_pid"
+trap - EXIT
+echo "inkserve smoke test OK"
