@@ -1,0 +1,95 @@
+// benchdiff compares two inkbench JSON artifacts cell by cell and prints the
+// per-query/backend wall-time delta. Cells slower than the baseline by more
+// than the regression threshold are flagged, and with -fail the exit status
+// reflects them so scripts/bench.sh can gate on trajectory.
+//
+//	go run ./cmd/benchdiff BENCH_PR4.json BENCH_PR5.json
+//	go run ./cmd/benchdiff -threshold 0.10 -fail old.json new.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type cell struct {
+	Query   string  `json:"query"`
+	Backend string  `json:"backend"`
+	WallMS  float64 `json:"wall_ms"`
+	Rows    int64   `json:"rows"`
+}
+
+type report struct {
+	SF    float64 `json:"sf"`
+	Runs  int     `json:"runs"`
+	Cells []cell  `json:"cells"`
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "flag cells slower than baseline by more than this fraction")
+	failOnRegress := flag.Bool("fail", false, "exit 1 if any cell regresses past the threshold")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] baseline.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	next, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	if base.SF != next.SF {
+		fmt.Printf("note: scale factors differ (baseline SF %g, new SF %g) — deltas are not comparable\n", base.SF, next.SF)
+	}
+
+	old := make(map[string]cell, len(base.Cells))
+	for _, c := range base.Cells {
+		old[c.Query+"/"+c.Backend] = c
+	}
+
+	fmt.Printf("%-6s %-11s %10s %10s %9s\n", "query", "backend", "base ms", "new ms", "delta")
+	regressions := 0
+	for _, c := range next.Cells {
+		b, ok := old[c.Query+"/"+c.Backend]
+		if !ok {
+			fmt.Printf("%-6s %-11s %10s %10.2f %9s\n", c.Query, c.Backend, "-", c.WallMS, "new")
+			continue
+		}
+		delta := c.WallMS/b.WallMS - 1
+		mark := ""
+		if delta > *threshold {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-6s %-11s %10.2f %10.2f %+8.1f%%%s\n", c.Query, c.Backend, b.WallMS, c.WallMS, 100*delta, mark)
+	}
+	if regressions > 0 {
+		fmt.Printf("%d cell(s) regressed more than %.0f%%\n", regressions, 100**threshold)
+		if *failOnRegress {
+			os.Exit(1)
+		}
+	}
+}

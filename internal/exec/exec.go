@@ -272,6 +272,16 @@ func ExecuteContext(ctx context.Context, plan *core.Plan, opts Options) (*Result
 		}
 		morsels := storage.Morsels(binder.total, opts.MorselSize)
 
+		// Cardinality hint for this pipeline's aggregations: one worker sees
+		// at most a morsel of rows between table growth checks, and never
+		// more groups than source rows. The hint pre-sizes shard bucket
+		// arrays so the batched kernels don't resize mid-chunk while holding
+		// a shard lock. Set before the workers spawn (they read it when
+		// lazily creating their instances).
+		for _, fin := range pipe.MergeAggs {
+			fin.State.SizeHint = min(binder.total, opts.MorselSize)
+		}
+
 		// The pipeline trace is started before runner construction so the
 		// foreground backends' compile wait falls inside the pipeline wall.
 		var pt *trace.Pipeline
@@ -330,11 +340,14 @@ func ExecuteContext(ctx context.Context, plan *core.Plan, opts Options) (*Result
 					// hybrid routing) is captured without touching hot paths.
 					// The morsel is always timed: the duration feeds the
 					// process-wide latency histogram even when tracing is off.
-					var tup0, jit0, vec0 int64
+					var tup0, jit0, vec0, lh0, sp0, bs0 int64
 					if pt != nil {
 						tup0 = wctx.Counters.Tuples
 						jit0 = wctx.Counters.MorselsCompiled
 						vec0 = wctx.Counters.MorselsVectorized
+						lh0 = wctx.Counters.HTLocalHits
+						sp0 = wctx.Counters.HTSpills
+						bs0 = wctx.Counters.HTBloomSkips
 					}
 					t0 := time.Now()
 					err := runMorselSafe(plan.Name, pipe.Name, opts.Backend, r, w, i, wctx, binder, morsels[i], out)
@@ -347,6 +360,9 @@ func ExecuteContext(ctx context.Context, plan *core.Plan, opts Options) (*Result
 						wt.Tuples += wctx.Counters.Tuples - tup0
 						wt.JIT += int(wctx.Counters.MorselsCompiled - jit0)
 						wt.Vectorized += int(wctx.Counters.MorselsVectorized - vec0)
+						wt.LocalHits += wctx.Counters.HTLocalHits - lh0
+						wt.Spills += wctx.Counters.HTSpills - sp0
+						wt.BloomSkips += wctx.Counters.HTBloomSkips - bs0
 					}
 					if err != nil {
 						qs.fail(err)
@@ -462,6 +478,11 @@ func runMorselSafe(query, pipeName string, backend Backend, r runner, w, mi int,
 	}
 	src, n := binder.bind(m)
 	r.runMorsel(w, wctx, src, n, out)
+	// Morsel boundary: spill the worker's thread-local pre-aggregation into
+	// its shard table (group rows must not live across morsels). Pipelines
+	// without aggregation pay one empty-map check. Inside the recover scope:
+	// the merge can hit the memory budget too.
+	wctx.FlushLocalAggs()
 	wctx.Counters.Tuples += int64(n)
 	return nil
 }

@@ -104,6 +104,9 @@ func writePipelineAnalysis(b *strings.Builder, pt *trace.Pipeline, workers int) 
 				s.ID, share, time.Duration(s.Nanos).Round(time.Microsecond), s.Calls, s.Tuples, s.NanosPerTuple())
 		}
 	}
+	if lh, sp, bs := pt.LocalHits(), pt.Spills(), pt.BloomSkips(); lh+sp+bs > 0 {
+		fmt.Fprintf(b, "  -- tables: local_hits=%d spills=%d bloom_skips=%d\n", lh, sp, bs)
+	}
 	jit, vec := pt.RoutedJIT(), pt.RoutedVectorized()
 	if jit+vec > 0 {
 		fmt.Fprintf(b, "  -- routing: %d jit / %d vectorized", jit, vec)
@@ -123,6 +126,10 @@ func writeQueryFooter(b *strings.Builder, res *Result) {
 	s := &res.Stats
 	fmt.Fprintf(b, "== totals: tuples=%d vm-ops/tuple=%s buffer-bytes/tuple=%s ht-probes/tuple=%s\n",
 		s.Tuples, s.PerTuple(s.VMOps), s.PerTuple(s.MaterializedBytes), s.PerTuple(s.HTProbes))
+	if s.HTLocalHits+s.HTSpills+s.HTBloomSkips > 0 {
+		fmt.Fprintf(b, "== tables: local_hits=%d spills=%d bloom_skips=%d\n",
+			s.HTLocalHits, s.HTSpills, s.HTBloomSkips)
+	}
 	fmt.Fprintf(b, "== compile: time=%v wait=%v errors=%d; panics-recovered=%d",
 		s.CompileTime.Round(time.Microsecond), s.CompileWait.Round(time.Microsecond),
 		s.CompileErrors, s.PanicsRecovered)

@@ -118,11 +118,13 @@ func (s *aggShard) findOrCreate(key []byte, h uint64, init, seed []byte) []byte 
 	}
 }
 
-func (s *aggShard) grow() {
+func (s *aggShard) grow() { s.growTo(uint64(2 * len(s.buckets))) }
+
+func (s *aggShard) growTo(size uint64) {
 	s.resizes++
-	s.budget.Charge(int64(len(s.buckets)) * 4) // doubling: charge the delta
-	nb := make([]int32, 2*len(s.buckets))
-	mask := uint64(len(nb) - 1)
+	s.budget.Charge((int64(size) - int64(len(s.buckets))) * 4) // charge the delta
+	nb := make([]int32, size)
+	mask := size - 1
 	for e, h := range s.hashes {
 		i := h & mask
 		for nb[i] != 0 {
@@ -133,6 +135,47 @@ func (s *aggShard) grow() {
 	s.buckets = nb
 	s.mask = mask
 }
+
+// reserve grows the bucket array once, up front, so that the following
+// `extra` inserts cannot trigger a resize. The batched path calls it after
+// taking the shard lock: without it a grow could stall a whole chunk's worth
+// of co-locked rows mid-batch. Charging the delta keeps the cumulative budget
+// identical to the scalar path's incremental doublings.
+func (s *aggShard) reserve(extra int) {
+	need := uint64(len(s.rows)+extra) * 4
+	size := s.mask + 1
+	if need <= 3*size {
+		return
+	}
+	for need > 3*size {
+		size <<= 1
+	}
+	s.growTo(size)
+}
+
+// Reserve pre-sizes every shard's bucket array for roughly n total groups —
+// called from NewInstance with the scheduler's morsel cardinality estimate
+// (AggTableState.SizeHint) before a budget is attached, mirroring how the
+// initial bucket arrays are uncharged.
+func (t *AggTable) Reserve(n int) {
+	if n <= 0 {
+		return
+	}
+	per := n / len(t.shards)
+	if per > maxReservePerShard {
+		per = maxReservePerShard
+	}
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		s.reserve(per)
+		s.mu.Unlock()
+	}
+}
+
+// maxReservePerShard caps cardinality-estimate pre-sizing (the estimate is an
+// upper bound — morsel row count — not a group count).
+const maxReservePerShard = 1 << 13
 
 // Groups returns the number of groups in the table.
 func (t *AggTable) Groups() int {

@@ -94,6 +94,152 @@ func BenchmarkJoinProbe(b *testing.B) {
 
 var sinkInt int
 
+// benchChunkKeys builds one chunk of 8-byte keys cycling through `groups`
+// distinct values — the shape an aggregation build sees morsel after morsel.
+func benchChunkKeys(chunk, groups, salt int) [][]byte {
+	keys := make([][]byte, chunk)
+	for i := range keys {
+		k := make([]byte, 8)
+		binary.LittleEndian.PutUint64(k, uint64((salt*chunk+i)%groups))
+		keys[i] = k
+	}
+	return keys
+}
+
+// BenchmarkAggBuildScalar drives the per-tuple path: one hash, one shard
+// dispatch and one mutex acquire per row.
+func BenchmarkAggBuildScalar(b *testing.B) {
+	for _, groups := range []int{16, 1 << 10, 1 << 16} {
+		b.Run(map[int]string{16: "16groups", 1 << 10: "1Kgroups", 1 << 16: "64Kgroups"}[groups], func(b *testing.B) {
+			const chunk = 1024
+			tbl := NewAggTable(make([]byte, 8), 16)
+			keys := benchChunkKeys(chunk, groups, 0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := keys[i%chunk]
+				row := tbl.FindOrCreate(k, Hash64(k))
+				off := RowPayloadOff(row)
+				PutI64(row, off, GetI64(row, off)+1)
+			}
+		})
+	}
+}
+
+// BenchmarkAggBuildBatched drives the same workload through the chunk
+// kernels: HashBatch + FindOrCreateBatch, one lock acquire per (chunk, shard).
+func BenchmarkAggBuildBatched(b *testing.B) {
+	for _, groups := range []int{16, 1 << 10, 1 << 16} {
+		b.Run(map[int]string{16: "16groups", 1 << 10: "1Kgroups", 1 << 16: "64Kgroups"}[groups], func(b *testing.B) {
+			const chunk = 1024
+			tbl := NewAggTable(make([]byte, 8), 16)
+			keys := benchChunkKeys(chunk, groups, 0)
+			var sc BatchScratch
+			hashes := make([]uint64, 0, chunk)
+			dst := make([][]byte, chunk)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += chunk {
+				hashes = HashBatch(keys, hashes)
+				tbl.FindOrCreateBatch(keys, nil, hashes, dst, &sc)
+				for _, row := range dst {
+					off := RowPayloadOff(row)
+					PutI64(row, off, GetI64(row, off)+1)
+				}
+			}
+		})
+	}
+}
+
+// benchJoinTable builds and seals a unique-key table of `keys` 8-byte rows.
+func benchJoinTable(keys int) *JoinTable {
+	tbl := NewJoinTable(16)
+	k := make([]byte, 8)
+	for i := 0; i < keys; i++ {
+		binary.LittleEndian.PutUint64(k, uint64(i))
+		tbl.Insert(k, nil, Hash64(k))
+	}
+	tbl.Seal()
+	return tbl
+}
+
+// BenchmarkJoinProbeScalarPath probes tuple-at-a-time with 50% misses; every
+// probe hashes, dispatches and walks its bucket individually.
+func BenchmarkJoinProbeScalarPath(b *testing.B) {
+	const keys = 1 << 12
+	tbl := benchJoinTable(keys)
+	probes := benchChunkKeys(1024, 2*keys, 0) // half the key space is absent
+	b.ReportAllocs()
+	b.ResetTimer()
+	matches := 0
+	for i := 0; i < b.N; i++ {
+		k := probes[i%1024]
+		it := tbl.Lookup(k, Hash64(k))
+		for it.Next() != nil {
+			matches++
+		}
+	}
+	sinkInt = matches
+}
+
+// BenchmarkJoinProbeBatchedPath hashes the chunk as a vector and consults the
+// bloom filter via LookupBatch, walking buckets only for possible matches.
+func BenchmarkJoinProbeBatchedPath(b *testing.B) {
+	const keys = 1 << 12
+	const chunk = 1024
+	tbl := benchJoinTable(keys)
+	probes := benchChunkKeys(chunk, 2*keys, 0)
+	hashes := make([]uint64, 0, chunk)
+	sel := make([]int32, 0, chunk)
+	b.ReportAllocs()
+	b.ResetTimer()
+	matches := 0
+	for i := 0; i < b.N; i += chunk {
+		hashes = HashBatch(probes, hashes)
+		sel, _ = tbl.LookupBatch(hashes, sel[:0])
+		for _, pi := range sel {
+			it := tbl.Lookup(probes[pi], hashes[pi])
+			for it.Next() != nil {
+				matches++
+			}
+		}
+	}
+	sinkInt = matches
+}
+
+// BenchmarkJoinProbeBloom isolates the filter: probes drawn almost entirely
+// from outside the build key space, so LookupBatch rejects them without
+// touching bucket memory.
+func BenchmarkJoinProbeBloom(b *testing.B) {
+	const keys = 1 << 12
+	const chunk = 1024
+	tbl := benchJoinTable(keys)
+	probes := make([][]byte, chunk)
+	for i := range probes {
+		k := make([]byte, 8)
+		binary.LittleEndian.PutUint64(k, uint64(keys+1+i)) // all misses
+		probes[i] = k
+	}
+	hashes := make([]uint64, 0, chunk)
+	sel := make([]int32, 0, chunk)
+	b.ReportAllocs()
+	b.ResetTimer()
+	skipped := 0
+	for i := 0; i < b.N; i += chunk {
+		var sk int
+		hashes = HashBatch(probes, hashes)
+		sel, sk = tbl.LookupBatch(hashes, sel[:0])
+		for _, pi := range sel {
+			it := tbl.Lookup(probes[pi], hashes[pi])
+			for it.Next() != nil {
+				skipped--
+			}
+		}
+		skipped += sk
+	}
+	sinkInt = skipped
+}
+
 func BenchmarkLikeMatcher(b *testing.B) {
 	m := NewLikeMatcher("%special%requests%")
 	subjects := []string{

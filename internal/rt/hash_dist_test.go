@@ -1,0 +1,116 @@
+package rt
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// Distribution tests for Hash64 on the low-entropy keys real TPC-H columns
+// produce: sequential orderkeys, a narrow band of dates, strided customer
+// keys. Skew in the bits the tables consume — the top byte (shard dispatch),
+// the low bits (bucket index), and the bloom filter's (h>>16, h>>40) slices —
+// silently serializes the sharded tables, so each bit range is held to within
+// 2x of a uniform spread.
+
+// hashKeySet builds n 8-byte little-endian keys: start, start+stride, ...
+func hashKeySet(n int, start, stride int64) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		b := make([]byte, 8)
+		binary.LittleEndian.PutUint64(b, uint64(start+int64(i)*stride))
+		keys[i] = b
+	}
+	return keys
+}
+
+// hashKeySet32 builds n 4-byte keys (int32 orderkeys/dates hash as the
+// 4-byte tail path of Hash64).
+func hashKeySet32(n int, start, stride int32) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		b := make([]byte, 4)
+		binary.LittleEndian.PutUint32(b, uint32(start+int32(i)*stride))
+		keys[i] = b
+	}
+	return keys
+}
+
+// checkSpread hashes the keys and asserts every consumer bit-range stays
+// under 2x the uniform expectation.
+func checkSpread(t *testing.T, name string, keys [][]byte) {
+	t.Helper()
+	type slice struct {
+		name    string
+		bins    int
+		extract func(h uint64) int
+	}
+	slices := []slice{
+		{"shard(h>>56)&15", 16, func(h uint64) int { return int((h >> 56) & 15) }},
+		{"bucket h&1023", 1024, func(h uint64) int { return int(h & 1023) }},
+		{"bloom(h>>16)&1023", 1024, func(h uint64) int { return int((h >> 16) & 1023) }},
+		{"tag(h>>40)&7", 8, func(h uint64) int { return int((h >> 40) & 7) }},
+	}
+	for _, sl := range slices {
+		// Require ≥64 keys per bin: below that an ideal hash's own Poisson
+		// tail brushes the 2x bound and the test would flag noise.
+		if len(keys) < 64*sl.bins {
+			continue
+		}
+		counts := make([]int, sl.bins)
+		for _, k := range keys {
+			counts[sl.extract(Hash64(k))]++
+		}
+		expect := float64(len(keys)) / float64(sl.bins)
+		for b, c := range counts {
+			if float64(c) > 2*expect {
+				t.Errorf("%s: %s bin %d holds %d keys, >2x uniform (%.1f)", name, sl.name, b, c, expect)
+			}
+		}
+	}
+}
+
+func TestHashDistributionLowEntropyKeys(t *testing.T) {
+	cases := []struct {
+		name string
+		keys [][]byte
+	}{
+		{"sequential-orderkeys-i64", hashKeySet(1<<16, 1, 1)},
+		{"strided-orderkeys-i64", hashKeySet(1<<16, 1, 4)}, // TPC-H orderkeys are sparse
+		{"sequential-dates-i32", hashKeySet32(1<<16, 8035, 1)},
+		{"epoch-days-band-i32", hashKeySet32(1<<16, 10000, 7)},
+		{"high-base-custkeys", hashKeySet(1<<16, 1<<40, 3)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { checkSpread(t, tc.name, tc.keys) })
+	}
+}
+
+// TestHashAvalanche flips single input bits and checks each flip changes
+// close to half the output bits on average — the mixer property that keeps
+// the consumer bit-ranges above independent even on near-identical keys.
+func TestHashAvalanche(t *testing.T) {
+	const trials = 512
+	var totalFlipped, samples float64
+	for trial := 0; trial < trials; trial++ {
+		b := make([]byte, 8)
+		binary.LittleEndian.PutUint64(b, uint64(trial)*0x10001+3)
+		h0 := Hash64(b)
+		for bit := 0; bit < 64; bit++ {
+			fb := make([]byte, 8)
+			copy(fb, b)
+			fb[bit/8] ^= 1 << (bit % 8)
+			diff := h0 ^ Hash64(fb)
+			pop := 0
+			for d := diff; d != 0; d &= d - 1 {
+				pop++
+			}
+			totalFlipped += float64(pop)
+			samples++
+		}
+	}
+	mean := totalFlipped / samples
+	if math.Abs(mean-32) > 2 {
+		t.Fatalf("avalanche mean = %.2f output bits per input-bit flip, want ~32±2", mean)
+	}
+}

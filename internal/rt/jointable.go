@@ -13,7 +13,20 @@ type JoinTable struct {
 	shards    []joinShard
 	shardMask uint64
 	sealed    bool
+
+	// Build-side bloom/tag filter, built at Seal: one byte per bucket-class,
+	// sized to ≥2 bytes per build row, indexed by hash bits disjoint from both
+	// the shard dispatch (h>>56) and the per-shard bucket index (low bits).
+	// Each byte is an 8-way tag block — a probe whose tag bit is clear is a
+	// definite miss and never touches bucket or row memory (selective joins:
+	// most probes end here).
+	filter []byte
+	fmask  uint64
 }
+
+// bloomTag picks the in-byte tag bit from hash bits unused by shard and
+// bucket addressing.
+func bloomTag(h uint64) byte { return 1 << ((h >> 40) & 7) }
 
 type joinShard struct {
 	mu      sync.Mutex
@@ -73,12 +86,15 @@ func (t *JoinTable) Insert(key, payload []byte, h uint64) {
 	s.hashes = append(s.hashes, h)
 }
 
-// Seal builds the probe-side bucket arrays. Must be called after the build
-// pipeline completes and before any Lookup.
+// Seal builds the probe-side bucket arrays and the build-side bloom/tag
+// filter. Must be called after the build pipeline completes and before any
+// Lookup.
 func (t *JoinTable) Seal() {
+	total := 0
 	for i := range t.shards {
 		s := &t.shards[i]
 		n := len(s.rows)
+		total += n
 		cap := uint64(16)
 		for cap < uint64(2*n) {
 			cap <<= 1
@@ -93,7 +109,29 @@ func (t *JoinTable) Seal() {
 			s.buckets[i] = int32(e + 1)
 		}
 	}
+	fcap := uint64(64)
+	for fcap < uint64(2*total) && fcap < maxBloomBytes {
+		fcap <<= 1
+	}
+	t.shards[0].budget.Charge(int64(fcap))
+	t.filter = make([]byte, fcap)
+	t.fmask = fcap - 1
+	for i := range t.shards {
+		for _, h := range t.shards[i].hashes {
+			t.filter[(h>>16)&t.fmask] |= bloomTag(h)
+		}
+	}
 	t.sealed = true
+}
+
+// maxBloomBytes caps the filter at 64 MiB; past that the tag density is low
+// enough that a bigger filter stops paying for its cache footprint.
+const maxBloomBytes = 1 << 26
+
+// MayContain consults the bloom/tag filter: false means no build row can
+// match a key with this hash (no false negatives). The table must be sealed.
+func (t *JoinTable) MayContain(h uint64) bool {
+	return t.filter[(h>>16)&t.fmask]&bloomTag(h) != 0
 }
 
 // Rows returns the number of build rows.
@@ -137,6 +175,13 @@ func (it *MatchIter) Next() []byte {
 // probing, pulling the relevant cache lines in with many independent loads
 // (the prefetch staging point of Relaxed Operator Fusion).
 func (t *JoinTable) Touch(key []byte, h uint64) byte {
+	// The filter line is the first stage: a definite miss never pulls bucket
+	// or row cache lines, so staged prefetching only streams memory that the
+	// probe pass will actually walk.
+	acc := t.filter[(h>>16)&t.fmask]
+	if acc&bloomTag(h) == 0 {
+		return acc
+	}
 	s := &t.shards[(h>>56)&t.shardMask]
 	b := s.buckets[h&s.mask]
 	if b != 0 {
@@ -145,7 +190,7 @@ func (t *JoinTable) Touch(key []byte, h uint64) byte {
 		// byte keeps the loads alive.
 		return s.rows[e][0] ^ byte(s.hashes[e])
 	}
-	return 0
+	return acc
 }
 
 // Exists reports whether any build row matches the key (semi joins).

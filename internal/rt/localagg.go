@@ -1,0 +1,180 @@
+package rt
+
+import (
+	"bytes"
+	"encoding/binary"
+)
+
+// LocalAggTable is a bounded, lock-free pre-aggregation table owned by one
+// worker for one aggregation state. High-locality group-bys (TPC-H Q1's four
+// groups) resolve almost every lookup here — no shard dispatch, no mutex, no
+// contention — and the accumulated groups are flushed (merged) into the
+// worker's backing sharded AggTable at morsel boundaries or on overflow.
+//
+// Group rows are packed into one fixed-capacity flat buffer that is never
+// reallocated: rows handed out by FindOrCreate stay valid for the rest of the
+// chunk (the aggregate-update primitives write into them in place), so the
+// buffer must not move under them. When the buffer or the group budget is
+// exhausted, FindOrCreate reports a miss and the caller routes the key to the
+// backing table's batched path instead; flushes happen between chunks at the
+// earliest (MaybeFlush) and at every morsel boundary (Flush), never mid-chunk.
+//
+// The table is adaptive: if after a warm-up the hit ratio stays low (a
+// high-cardinality key like Q13's custkey, where pre-aggregation only doubles
+// the hashing work), it disables itself for the rest of the pipeline.
+type LocalAggTable struct {
+	st      *AggTableState
+	backing *AggTable
+
+	buckets []int32 // entry index + 1; 0 = empty
+	hashes  []uint64
+	rows    [][]byte
+	buf     []byte // fixed-capacity row storage; never reallocated
+
+	probes   int64
+	hits     int64
+	disabled bool
+
+	// overflow records that a lookup since the last flush bounced off a full
+	// table, with ovProbes/ovHits snapshotting the counters at that moment;
+	// flushProbes/flushHits snapshot them at the last flush. MaybeFlush judges
+	// the hit ratio over the responsive window alone — the probes between the
+	// last flush and the overflow, while the table could still absorb keys.
+	// Everything after the overflow is a forced miss and says nothing about
+	// whether the keys repeat.
+	overflow    bool
+	ovProbes    int64
+	ovHits      int64
+	flushProbes int64
+	flushHits   int64
+}
+
+const (
+	localAggBuckets = 16384   // bucket slots; ≥4x max groups keeps probes short
+	localAggGroups  = 4096    // max resident groups before lookups overflow
+	localAggBytes   = 1 << 19 // row storage; bounded per worker, outside MemBudget
+	// Adaptive disable: after this many probes, a hit ratio below the
+	// threshold means the keys don't repeat within a morsel and local
+	// pre-aggregation is pure overhead.
+	localAggMinProbes = 4096
+	localAggHitRatio  = 0.5
+)
+
+// NewLocalAggTable creates a local table that flushes into backing.
+func NewLocalAggTable(st *AggTableState, backing *AggTable) *LocalAggTable {
+	return &LocalAggTable{
+		st:      st,
+		backing: backing,
+		buckets: make([]int32, localAggBuckets),
+		hashes:  make([]uint64, 0, localAggGroups),
+		rows:    make([][]byte, 0, localAggGroups),
+		buf:     make([]byte, 0, localAggBytes),
+	}
+}
+
+// Disabled reports whether the adaptive policy has turned the table off;
+// callers then route whole chunks straight to the backing batched path.
+func (l *LocalAggTable) Disabled() bool { return l.disabled }
+
+// Hits returns how many lookups were absorbed locally (an existing local
+// group, no shard-table work at all).
+func (l *LocalAggTable) Hits() int64 { return l.hits }
+
+// FindOrCreate resolves one key against the local table. hit reports an
+// existing local group; ok=false means the table is full (or disabled) and
+// the caller must resolve the key against the backing table instead. The
+// returned row stays valid until the next Flush.
+func (l *LocalAggTable) FindOrCreate(key []byte, h uint64, seed []byte) (row []byte, hit, ok bool) {
+	if l.disabled {
+		return nil, false, false
+	}
+	l.probes++
+	mask := uint64(len(l.buckets) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		b := l.buckets[i]
+		if b == 0 {
+			size := 4 + len(key) + len(l.st.Init) + len(seed)
+			if len(l.rows) >= localAggGroups || len(l.buf)+size > cap(l.buf) {
+				if !l.overflow {
+					l.overflow = true
+					l.ovProbes, l.ovHits = l.probes, l.hits
+				}
+				return nil, false, false
+			}
+			off := len(l.buf)
+			l.buf = l.buf[:off+size]
+			r := l.buf[off : off+size : off+size]
+			binary.LittleEndian.PutUint32(r, uint32(len(key)))
+			copy(r[4:], key)
+			copy(r[4+len(key):], l.st.Init)
+			copy(r[4+len(key)+len(l.st.Init):], seed)
+			l.hashes = append(l.hashes, h)
+			l.rows = append(l.rows, r)
+			l.buckets[i] = int32(len(l.rows))
+			return r, false, true
+		}
+		e := b - 1
+		if l.hashes[e] == h && bytes.Equal(RowKey(l.rows[e]), key) {
+			l.hits++
+			return l.rows[e], true, true
+		}
+	}
+}
+
+// Flush merges every local group into the backing shard table and resets the
+// local table. It must only run at a morsel boundary (rows handed out during
+// the current chunk become stale). Returns the number of group rows spilled.
+// After the warm-up the adaptive policy may disable the table permanently for
+// this worker/pipeline.
+func (l *LocalAggTable) Flush() int64 {
+	n := l.drain()
+	if !l.disabled && l.probes >= localAggMinProbes &&
+		float64(l.hits) < localAggHitRatio*float64(l.probes) {
+		l.disabled = true
+	}
+	return n
+}
+
+// MaybeFlush runs the between-chunk adaptive policy. A no-op until a lookup
+// has bounced off a full table; then, if the hit ratio over the responsive
+// window (the probes before the table filled) shows the keys repeat
+// (clustered streams like lineitems of one order, or a join output's
+// duplicated probe keys), the table drains and keeps absorbing into fresh
+// capacity — while a non-repeating stream disables the table on the spot
+// instead of waiting for a morsel boundary that a single-morsel pipeline
+// never reaches. Safe only between chunks (like Flush, draining invalidates
+// handed-out rows). Returns the number of group rows spilled.
+func (l *LocalAggTable) MaybeFlush() int64 {
+	if l.disabled || !l.overflow {
+		return 0
+	}
+	ip, ih := l.ovProbes-l.flushProbes, l.ovHits-l.flushHits
+	if l.probes >= localAggMinProbes && float64(ih) < localAggHitRatio*float64(ip) {
+		l.disabled = true
+	}
+	return l.drain()
+}
+
+// drain merges every local group into the backing shard table and resets the
+// row storage, leaving the adaptive counters' interval snapshot behind.
+func (l *LocalAggTable) drain() int64 {
+	n := int64(len(l.rows))
+	if n > 0 {
+		initLen := len(l.st.Init)
+		for ri, row := range l.rows {
+			key := RowKey(row)
+			seed := row[RowPayloadOff(row)+initLen:]
+			drow := l.backing.FindOrCreateSeed(key, l.hashes[ri], seed)
+			l.st.mergePayload(drow, row)
+		}
+		for i := range l.buckets {
+			l.buckets[i] = 0
+		}
+		l.hashes = l.hashes[:0]
+		l.rows = l.rows[:0]
+		l.buf = l.buf[:0]
+	}
+	l.overflow = false
+	l.flushProbes, l.flushHits = l.probes, l.hits
+	return n
+}

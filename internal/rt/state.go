@@ -87,12 +87,22 @@ type AggTableState struct {
 	Shards int
 	Merge  []AggMerge
 
+	// SizeHint is the scheduler's cardinality estimate for one worker's share
+	// of the build (morsel size clamped by the source row count). NewInstance
+	// pre-sizes the shard bucket arrays from it so the batched path never
+	// resizes while holding a shard lock mid-chunk.
+	SizeHint int
+
 	Global *AggTable // set by the scheduler after merging
 }
 
 // NewInstance creates a fresh table for one worker.
 func (s *AggTableState) NewInstance() *AggTable {
-	return NewAggTable(s.Init, s.Shards)
+	t := NewAggTable(s.Init, s.Shards)
+	// Pre-size before a budget is attached: like the initial bucket arrays,
+	// the estimate-driven capacity is uncharged; only demand growth is.
+	t.Reserve(s.SizeHint)
+	return t
 }
 
 // MergeInto folds all groups of src into dst using the merge spec. Creation
@@ -103,24 +113,29 @@ func (s *AggTableState) MergeInto(dst, src *AggTable) {
 		key := RowKey(row)
 		seed := row[RowPayloadOff(row)+len(s.Init):]
 		drow := dst.FindOrCreateSeed(key, Hash64(key), seed)
-		dOff := RowPayloadOff(drow)
-		sOff := RowPayloadOff(row)
-		for _, m := range s.Merge {
-			do, so := dOff+m.Off, sOff+m.Off
-			switch m.Op {
-			case MergeSumI64:
-				PutI64(drow, do, GetI64(drow, do)+GetI64(row, so))
-			case MergeSumF64:
-				PutF64(drow, do, GetF64(drow, do)+GetF64(row, so))
-			case MergeMinF64:
-				PutF64(drow, do, min(GetF64(drow, do), GetF64(row, so)))
-			case MergeMaxF64:
-				PutF64(drow, do, max(GetF64(drow, do), GetF64(row, so)))
-			case MergeMinI32:
-				PutI32(drow, do, min(GetI32(drow, do), GetI32(row, so)))
-			case MergeMaxI32:
-				PutI32(drow, do, max(GetI32(drow, do), GetI32(row, so)))
-			}
+		s.mergePayload(drow, row)
+	}
+}
+
+// mergePayload folds one source group row's aggregate slots into dst's.
+func (s *AggTableState) mergePayload(drow, row []byte) {
+	dOff := RowPayloadOff(drow)
+	sOff := RowPayloadOff(row)
+	for _, m := range s.Merge {
+		do, so := dOff+m.Off, sOff+m.Off
+		switch m.Op {
+		case MergeSumI64:
+			PutI64(drow, do, GetI64(drow, do)+GetI64(row, so))
+		case MergeSumF64:
+			PutF64(drow, do, GetF64(drow, do)+GetF64(row, so))
+		case MergeMinF64:
+			PutF64(drow, do, min(GetF64(drow, do), GetF64(row, so)))
+		case MergeMaxF64:
+			PutF64(drow, do, max(GetF64(drow, do), GetF64(row, so)))
+		case MergeMinI32:
+			PutI32(drow, do, min(GetI32(drow, do), GetI32(row, so)))
+		case MergeMaxI32:
+			PutI32(drow, do, max(GetI32(drow, do), GetI32(row, so)))
 		}
 	}
 }

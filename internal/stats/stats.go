@@ -30,6 +30,15 @@ type Counters struct {
 	HTMatches int64
 	// HTInserts counts hash-table inserts (join build + new agg groups).
 	HTInserts int64
+	// HTLocalHits counts aggregation lookups absorbed by a worker's bounded
+	// thread-local pre-aggregation table (no shard lock taken).
+	HTLocalHits int64
+	// HTSpills counts local pre-aggregation group rows merged into the
+	// worker's sharded table at morsel boundaries or on overflow.
+	HTSpills int64
+	// HTBloomSkips counts join probes answered "definitely absent" by the
+	// build-side bloom/tag filter without touching bucket memory.
+	HTBloomSkips int64
 	// EmittedRows counts rows emitted by sinks.
 	EmittedRows int64
 	// MorselsVectorized / MorselsCompiled count the hybrid backend's routing.
@@ -63,6 +72,9 @@ func (c *Counters) Add(o *Counters) {
 	c.HTProbes += o.HTProbes
 	c.HTMatches += o.HTMatches
 	c.HTInserts += o.HTInserts
+	c.HTLocalHits += o.HTLocalHits
+	c.HTSpills += o.HTSpills
+	c.HTBloomSkips += o.HTBloomSkips
 	c.EmittedRows += o.EmittedRows
 	c.MorselsVectorized += o.MorselsVectorized
 	c.MorselsCompiled += o.MorselsCompiled

@@ -102,6 +102,13 @@ type Worker struct {
 	// morsel is JIT; the pure vectorized backend reports neither).
 	JIT        int
 	Vectorized int
+	// Hash-table kernel counters: aggregation lookups absorbed by the
+	// worker's thread-local pre-aggregation table, local group rows spilled
+	// into the shard table at morsel boundaries, and join probes answered by
+	// the build-side bloom/tag filter without touching bucket memory.
+	LocalHits  int64
+	Spills     int64
+	BloomSkips int64
 	// EWMA is the hybrid routing-decision series (capped at MaxEWMASamples).
 	EWMA        []EWMASample
 	EWMADropped int
@@ -187,6 +194,33 @@ func (p *Pipeline) RoutedVectorized() int {
 	return n
 }
 
+// LocalHits sums aggregation lookups absorbed by thread-local tables.
+func (p *Pipeline) LocalHits() int64 {
+	var n int64
+	for i := range p.Workers {
+		n += p.Workers[i].LocalHits
+	}
+	return n
+}
+
+// Spills sums local pre-aggregation rows merged into the shard tables.
+func (p *Pipeline) Spills() int64 {
+	var n int64
+	for i := range p.Workers {
+		n += p.Workers[i].Spills
+	}
+	return n
+}
+
+// BloomSkips sums join probes the build-side bloom filter answered.
+func (p *Pipeline) BloomSkips() int64 {
+	var n int64
+	for i := range p.Workers {
+		n += p.Workers[i].BloomSkips
+	}
+	return n
+}
+
 // Query-level totals (across pipelines).
 
 // Tuples sums source tuples across the query.
@@ -248,6 +282,9 @@ func (q *Query) Dump() string {
 				b.WriteString(" DEGRADED")
 			}
 			b.WriteByte('\n')
+		}
+		if lh, sp, bs := p.LocalHits(), p.Spills(), p.BloomSkips(); lh+sp+bs > 0 {
+			fmt.Fprintf(&b, "  tables: local_hits=%d spills=%d bloom_skips=%d\n", lh, sp, bs)
 		}
 		if len(p.SubOps) > 0 {
 			var total int64

@@ -184,21 +184,24 @@ func (c *compiler) stmt(s ir.Stmt, blk *[]exec) error {
 		}
 		ds := c.bind(s.Dst)
 		id := s.StateID
+		ax := c.newAux()
 		*blk = append(*blk, func(fr *frame, n int) {
 			st := fr.state[id].(*rt.AggTableState)
-			tbl := fr.ctx.AggTable(st)
-			dv := fr.vecs[ds]
-			dv.Resize(n)
-			d := dv.Ptr[:n]
+			tb := auxBatch(fr, ax)
 			rows := fr.vecs[rs].Ptr[:n]
-			for i := range d {
-				key := rt.RowKey(rows[i])
+			keys := sizedRows(&tb.keys, n)
+			seeds := sizedRows(&tb.seeds, n)
+			for i, r := range rows {
+				key := rt.RowKey(r)
+				keys[i] = key
 				// The probe row's payload region seeds new groups (it
 				// carries preserved original key strings for collated keys,
 				// paper §IV-D; empty otherwise).
-				seed := rows[i][4+len(key):]
-				d[i] = tbl.FindOrCreateSeed(key, rt.Hash64(key), seed)
+				seeds[i] = r[4+len(key):]
 			}
+			dv := fr.vecs[ds]
+			dv.Resize(n)
+			aggBatchLookup(fr, tb, st, keys, seeds, dv.Ptr[:n])
 			fr.ctx.Counters.VMOps += int64(n)
 			fr.ctx.Counters.HTProbes += int64(n)
 		})
@@ -211,28 +214,17 @@ func (c *compiler) stmt(s ir.Stmt, blk *[]exec) error {
 		}
 		ds := c.bind(s.Dst)
 		id := s.StateID
+		ax := c.newAux()
 		var op exec
 		switch s.Key.K {
 		case types.Bool:
-			op = aggLookupFixedOp(ks, ds, id, getB, func(b []byte, v bool) []byte {
-				rt.PutBool(b[:1], 0, v)
-				return b[:1]
-			})
+			op = aggLookupFixedOp(ks, ds, id, ax, 1, getB, rt.PutBool)
 		case types.Int32, types.Date:
-			op = aggLookupFixedOp(ks, ds, id, getI32, func(b []byte, v int32) []byte {
-				rt.PutI32(b, 0, v)
-				return b[:4]
-			})
+			op = aggLookupFixedOp(ks, ds, id, ax, 4, getI32, rt.PutI32)
 		case types.Int64:
-			op = aggLookupFixedOp(ks, ds, id, getI64, func(b []byte, v int64) []byte {
-				rt.PutI64(b, 0, v)
-				return b[:8]
-			})
+			op = aggLookupFixedOp(ks, ds, id, ax, 8, getI64, rt.PutI64)
 		case types.Float64:
-			op = aggLookupFixedOp(ks, ds, id, getF64, func(b []byte, v float64) []byte {
-				rt.PutF64(b, 0, v)
-				return b[:8]
-			})
+			op = aggLookupFixedOp(ks, ds, id, ax, 8, getF64, rt.PutF64)
 		default:
 			return fmt.Errorf("direct lookup on kind %v", s.Key.K)
 		}
@@ -263,14 +255,20 @@ func (c *compiler) stmt(s ir.Stmt, blk *[]exec) error {
 			return err
 		}
 		id := s.StateID
+		ax := c.newAux()
 		*blk = append(*blk, func(fr *frame, n int) {
 			tbl := fr.state[id].(*rt.JoinTableState).Table
+			tb := auxBatch(fr, ax)
 			rows := fr.vecs[rs].Ptr[:n]
-			for _, r := range rows {
+			keys := sizedRows(&tb.keys, n)
+			pays := sizedRows(&tb.seeds, n)
+			for i, r := range rows {
 				key := rt.RowKey(r)
-				payload := r[4+len(key):]
-				tbl.Insert(key, payload, rt.Hash64(key))
+				keys[i] = key
+				pays[i] = r[4+len(key):]
 			}
+			tb.hashes = rt.HashBatch(keys, tb.hashes)
+			tbl.InsertBatch(keys, pays, tb.hashes, &tb.sc)
 			fr.ctx.Counters.VMOps += int64(n)
 			fr.ctx.Counters.HTInserts += int64(n)
 		})
@@ -282,13 +280,22 @@ func (c *compiler) stmt(s ir.Stmt, blk *[]exec) error {
 			return err
 		}
 		id := s.StateID
+		ax := c.newAux()
 		*blk = append(*blk, func(fr *frame, n int) {
 			tbl := fr.state[id].(*rt.JoinTableState).Table
+			tb := auxBatch(fr, ax)
 			rows := fr.vecs[rs].Ptr[:n]
+			keys := sizedRows(&tb.keys, n)
+			for i, r := range rows {
+				keys[i] = rt.RowKey(r)
+			}
+			tb.hashes = rt.HashBatch(keys, tb.hashes)
 			var acc byte
-			for _, r := range rows {
-				key := rt.RowKey(r)
-				acc ^= tbl.Touch(key, rt.Hash64(key))
+			for i, k := range keys {
+				// Touch consults the bloom/tag filter first, so the staged
+				// prefetch only streams bucket lines that the probe pass will
+				// actually walk.
+				acc ^= tbl.Touch(k, tb.hashes[i])
 			}
 			fr.prefetchSink = acc
 			fr.ctx.Counters.VMOps += int64(n)
@@ -348,22 +355,25 @@ func packFixedOp[T any](rs, vs, stateID int, payload bool,
 
 // aggLookupFixedOp probes the aggregation table with a raw fixed-width
 // column value, no packed-row scratch (paper §IV-D's single-column fast
-// path). The 8-byte stack buffer is safe to reuse: the table copies the key
-// on group creation.
-func aggLookupFixedOp[T any](ks, ds, stateID int,
-	get func(*storage.Vector) []T, enc func([]byte, T) []byte) exec {
+// path). The whole chunk's keys are encoded into one stride buffer — the
+// buffer is safe to reuse per chunk because both the local and the sharded
+// table copy the key on group creation.
+func aggLookupFixedOp[T any](ks, ds, stateID, ax, width int,
+	get func(*storage.Vector) []T, put func([]byte, int, T)) exec {
 	return func(fr *frame, n int) {
 		st := fr.state[stateID].(*rt.AggTableState)
-		tbl := fr.ctx.AggTable(st)
+		tb := auxBatch(fr, ax)
+		vals := get(fr.vecs[ks])[:n]
+		buf := sizedBytes(&tb.keybuf, n*width)
+		keys := sizedRows(&tb.keys, n)
+		for i, v := range vals {
+			off := i * width
+			put(buf, off, v)
+			keys[i] = buf[off : off+width : off+width]
+		}
 		dv := fr.vecs[ds]
 		dv.Resize(n)
-		d := dv.Ptr[:n]
-		keys := get(fr.vecs[ks])[:n]
-		var buf [8]byte
-		for i := range d {
-			k := enc(buf[:], keys[i])
-			d[i] = tbl.FindOrCreate(k, rt.Hash64(k))
-		}
+		aggBatchLookup(fr, tb, st, keys, nil, dv.Ptr[:n])
 		fr.ctx.Counters.VMOps += int64(n)
 		fr.ctx.Counters.HTProbes += int64(n)
 	}
@@ -457,11 +467,19 @@ func (c *compiler) probe(s ir.ProbeStmt, blk *[]exec) error {
 	}
 	selAux := c.newAux()
 	rowAux := c.newAux()
+	batchAux := c.newAux()
 	id := s.StateID
 	mode := s.Mode
 	*blk = append(*blk, func(fr *frame, n int) {
 		tbl := fr.state[id].(*rt.JoinTableState).Table
 		probeRows := fr.vecs[prs].Ptr[:n]
+		tb := auxBatch(fr, batchAux)
+		keys := sizedRows(&tb.keys, n)
+		for i, pr := range probeRows {
+			keys[i] = rt.RowKey(pr)
+		}
+		tb.hashes = rt.HashBatch(keys, tb.hashes)
+		hashes := tb.hashes
 		sel := fr.auxSel(selAux)
 		var build [][]byte
 		if buildDst >= 0 {
@@ -473,34 +491,55 @@ func (c *compiler) probe(s ir.ProbeStmt, blk *[]exec) error {
 			mv.Resize(0)
 			matched = mv.B
 		}
+		// The bloom/tag filter screens the whole chunk first: a definite miss
+		// never walks bucket memory. For anti and outer joins a filter miss is
+		// itself the answer (unmatched), so those rows resolve without any
+		// table access at all.
+		var skips int
 		switch mode {
 		case ir.InnerJoin:
-			for i, pr := range probeRows {
-				key := rt.RowKey(pr)
-				it := tbl.Lookup(key, rt.Hash64(key))
+			cand, sk := tbl.LookupBatch(hashes, tb.pend[:0])
+			tb.pend, skips = cand, sk
+			for _, ci := range cand {
+				i := int(ci)
+				it := tbl.Lookup(keys[i], hashes[i])
 				for r := it.Next(); r != nil; r = it.Next() {
-					sel = append(sel, int32(i))
+					sel = append(sel, ci)
 					build = append(build, r)
 				}
 			}
 		case ir.SemiJoin:
-			for i, pr := range probeRows {
-				key := rt.RowKey(pr)
-				if tbl.Exists(key, rt.Hash64(key)) {
-					sel = append(sel, int32(i))
+			cand, sk := tbl.LookupBatch(hashes, tb.pend[:0])
+			tb.pend, skips = cand, sk
+			for _, ci := range cand {
+				i := int(ci)
+				it := tbl.Lookup(keys[i], hashes[i])
+				if it.Next() != nil {
+					sel = append(sel, ci)
 				}
 			}
 		case ir.AntiJoin:
-			for i, pr := range probeRows {
-				key := rt.RowKey(pr)
-				if !tbl.Exists(key, rt.Hash64(key)) {
+			for i := range probeRows {
+				if !tbl.MayContain(hashes[i]) {
+					skips++
+					sel = append(sel, int32(i))
+					continue
+				}
+				it := tbl.Lookup(keys[i], hashes[i])
+				if it.Next() == nil {
 					sel = append(sel, int32(i))
 				}
 			}
 		case ir.LeftOuterJoin:
-			for i, pr := range probeRows {
-				key := rt.RowKey(pr)
-				it := tbl.Lookup(key, rt.Hash64(key))
+			for i := range probeRows {
+				if !tbl.MayContain(hashes[i]) {
+					skips++
+					sel = append(sel, int32(i))
+					build = append(build, nil)
+					matched = append(matched, false)
+					continue
+				}
+				it := tbl.Lookup(keys[i], hashes[i])
 				any := false
 				for r := it.Next(); r != nil; r = it.Next() {
 					any = true
@@ -515,6 +554,7 @@ func (c *compiler) probe(s ir.ProbeStmt, blk *[]exec) error {
 				}
 			}
 		}
+		fr.ctx.Counters.HTBloomSkips += int64(skips)
 		fr.putAuxSel(selAux, sel)
 		out := len(sel)
 		if buildDst >= 0 {

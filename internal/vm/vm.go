@@ -31,6 +31,7 @@ type Ctx struct {
 
 	scratch map[*rt.RowLayoutState]*rt.RowScratch
 	aggs    map[*rt.AggTableState]*rt.AggTable
+	locals  map[*rt.AggTableState]*rt.LocalAggTable
 	frames  map[*Program]*frame
 }
 
@@ -39,6 +40,7 @@ func NewCtx() *Ctx {
 	return &Ctx{
 		scratch: make(map[*rt.RowLayoutState]*rt.RowScratch),
 		aggs:    make(map[*rt.AggTableState]*rt.AggTable),
+		locals:  make(map[*rt.AggTableState]*rt.LocalAggTable),
 		frames:  make(map[*Program]*frame),
 	}
 }
@@ -65,9 +67,39 @@ func (c *Ctx) AggTable(st *rt.AggTableState) *rt.AggTable {
 	return t
 }
 
+// LocalAgg returns this worker's bounded thread-local pre-aggregation table
+// for an aggregation state, backed by the worker's sharded table.
+func (c *Ctx) LocalAgg(st *rt.AggTableState) *rt.LocalAggTable {
+	l, ok := c.locals[st]
+	if !ok {
+		l = rt.NewLocalAggTable(st, c.AggTable(st))
+		c.locals[st] = l
+	}
+	return l
+}
+
+// FlushLocalAggs spills every thread-local pre-aggregation table into its
+// backing sharded table. The scheduler calls it at every morsel boundary —
+// local group rows must not live across morsels — so the off path (pipelines
+// without aggregation) is a single empty-map check.
+func (c *Ctx) FlushLocalAggs() {
+	if len(c.locals) == 0 {
+		return
+	}
+	for _, l := range c.locals {
+		c.Counters.HTSpills += l.Flush()
+	}
+}
+
 // TakeAggTables hands the worker's pre-aggregation tables to the scheduler
-// for merging and resets them for the next pipeline.
+// for merging and resets them for the next pipeline. Thread-local tables are
+// flushed first so no group is left behind, and dropped with the tables they
+// back.
 func (c *Ctx) TakeAggTables() map[*rt.AggTableState]*rt.AggTable {
+	c.FlushLocalAggs()
+	if len(c.locals) > 0 {
+		c.locals = make(map[*rt.AggTableState]*rt.LocalAggTable)
+	}
 	out := c.aggs
 	c.aggs = make(map[*rt.AggTableState]*rt.AggTable)
 	return out

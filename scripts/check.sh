@@ -21,6 +21,18 @@ for _ in 1 2 3; do
     go test -count=1 -run Determinism -race ./internal/exec/
 done
 
+# Differential fuzz seeds (batched vs scalar table kernels) under the race
+# detector: the batched paths take shard locks once per chunk, so any ordering
+# bug shows up here first.
+go test -count=1 -race -run 'Fuzz(AggBatch|JoinBatch)' ./internal/rt/
+
+# Benchmark smoke: one iteration of the morsel-loop and table-kernel benches
+# so a compile error or panic in benchmark-only code cannot land unnoticed.
+echo "bench smoke..."
+go test -run XXX -bench MorselLoop -benchtime 1x ./internal/exec/ >/dev/null
+go test -run XXX -bench 'AggBuild|JoinProbe' -benchtime 1x ./internal/rt/ >/dev/null
+echo "bench smoke OK"
+
 # inkserve smoke test: start the server on a random port with a tiny catalog,
 # run one query over HTTP, and assert the /metrics exposition advanced (query
 # counter and per-backend latency histogram).
