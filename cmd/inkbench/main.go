@@ -53,6 +53,11 @@ func main() {
 	backend := flag.String("backend", "hybrid", "backend for -explain: vectorized | compiling | rof | hybrid")
 	metricsFlag := flag.Bool("metrics", false, "print the engine metrics registry before exiting")
 	jsonFlag := flag.Bool("json", false, "JSON mode: measure every -queries query on all four backends and write the report to stdout, then exit")
+	concurrency := flag.Int("concurrency", 0, "concurrency mode: measure throughput/p99 at doubling client counts up to N through the admission-controlled scheduler (0 = off); standalone or added to -json")
+	concRequests := flag.Int("conc-requests", 0, "requests per concurrency level (0 = 4 per client, min 16)")
+	concMax := flag.Int("conc-max", 0, "admitted-query cap per level (0 = half the client count)")
+	concQueue := flag.Int("conc-queue", 0, "admission queue depth (0 = scheduler default, negative = no queue)")
+	concBackend := flag.String("conc-backend", "", "backend for the concurrency series (default vectorized)")
 	flag.Parse()
 
 	cfg := benchkit.Config{SF: *sf, Runs: *runs, Workers: *workers, Timeout: *timeout, MemBudget: *memBudget}
@@ -61,8 +66,19 @@ func main() {
 	}
 	cfg = cfg.WithDefaults()
 
+	concCfg := benchkit.ConcConfig{
+		Concurrency:   *concurrency,
+		Requests:      *concRequests,
+		MaxConcurrent: *concMax,
+		QueueDepth:    *concQueue,
+		Backend:       *concBackend,
+	}
+
 	if *jsonFlag {
 		rep, err := benchkit.JSONBench(cfg, benchkit.Fig9Systems)
+		if err == nil && *concurrency > 0 {
+			rep.Concurrency, err = benchkit.ConcurrentBench(cfg, concCfg)
+		}
 		if err == nil {
 			err = rep.Write(os.Stdout)
 		}
@@ -70,6 +86,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "inkbench: json: %v\n", err)
 			os.Exit(1)
 		}
+		return
+	}
+
+	if *concurrency > 0 {
+		fmt.Printf("# Concurrency — throughput and tail latency under concurrent clients (SF %g)\n", cfg.SF)
+		cells, err := benchkit.ConcurrentBench(cfg, concCfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "inkbench: concurrency: %v\n", err)
+			os.Exit(1)
+		}
+		benchkit.PrintConcurrency(os.Stdout, cells)
 		return
 	}
 

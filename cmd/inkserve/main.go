@@ -37,6 +37,12 @@ func main() {
 		slow    = flag.Duration("slow", 500*time.Millisecond, "slow-query log threshold (0 = off)")
 		maxRows = flag.Int("max-rows", 100, "max result rows inlined into a response")
 		jsonLog = flag.Bool("log-json", false, "write the query log as JSON lines")
+
+		engineWorkers = flag.Int("engine-workers", 0, "engine-wide scheduler pool size (0 = max(2, GOMAXPROCS))")
+		maxConcurrent = flag.Int("max-concurrent", 0, "max concurrently executing queries (0 = unlimited)")
+		queueDepth    = flag.Int("queue-depth", 0, "admission queue bound (0 = default 64, negative = no queue)")
+		memLimit      = flag.Int64("mem-limit", 0, "engine-wide cap on admitted queries' memory budgets in bytes (0 = unlimited)")
+		drain         = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight queries")
 	)
 	flag.Parse()
 
@@ -53,6 +59,10 @@ func main() {
 		DefaultTimeout: *timeout,
 		SlowQuery:      *slow,
 		MaxRows:        *maxRows,
+		EngineWorkers:  *engineWorkers,
+		MaxConcurrent:  *maxConcurrent,
+		QueueDepth:     *queueDepth,
+		MemLimit:       *memLimit,
 		Logger:         logger,
 	})
 
@@ -75,7 +85,16 @@ func main() {
 		logger.Error("server stopped", "err", err)
 		os.Exit(1)
 	case s := <-sig:
-		logger.Info("shutting down", "signal", s.String())
+		logger.Info("shutting down", "signal", s.String(), "drain", *drain)
+		// Two-phase graceful shutdown: first drain the engine (admissions
+		// stop, new queries get 503 "draining", in-flight queries run until
+		// the drain deadline and are then canceled), then close the HTTP side
+		// — by then every query handler has returned or is unwinding.
+		drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drain)
+		cs := srv.Close(drainCtx)
+		cancelDrain()
+		logger.Info("engine drained",
+			"drained", cs.Drained, "canceled", cs.Canceled, "shed", cs.Shed)
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {

@@ -270,6 +270,9 @@ type JSONReport struct {
 	Workers int        `json:"workers"`
 	Runs    int        `json:"runs"`
 	Cells   []JSONCell `json:"cells"`
+	// Concurrency is the optional throughput-and-tail-latency-under-load
+	// series (inkbench -concurrency N); older readers ignore the field.
+	Concurrency []ConcCell `json:"concurrency,omitempty"`
 }
 
 // JSONBench measures every configured query on every system and returns the

@@ -65,6 +65,18 @@ func ctxCause(err error) error {
 	return err
 }
 
+// admissionError maps a scheduler admission failure onto the engine's typed
+// errors: context expiry while queued becomes ErrCanceled /
+// ErrDeadlineExceeded (the query never ran), scheduler rejections
+// (sched.ErrQueueFull, sched.ErrDraining, sched.ErrOverCapacity) pass
+// through for the serving layer to classify.
+func admissionError(err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return ctxCause(err)
+	}
+	return err
+}
+
 // panicCause converts a recovered panic value into a typed failure cause.
 // Memory-budget panics are expected control flow (rt.MemBudget cannot return
 // errors through generated code) and map to ErrMemoryBudget; anything else

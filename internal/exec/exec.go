@@ -6,8 +6,6 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
-	"runtime/pprof"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,6 +16,7 @@ import (
 	"inkfuse/internal/metrics"
 	"inkfuse/internal/obs"
 	"inkfuse/internal/rt"
+	"inkfuse/internal/sched"
 	"inkfuse/internal/stats"
 	"inkfuse/internal/storage"
 	"inkfuse/internal/trace"
@@ -57,6 +56,12 @@ type Options struct {
 	// ProfileEvery is the profiler's sampling period in chunks;
 	// 0 = interp.DefaultProfileEvery.
 	ProfileEvery int
+	// Pool is the engine-wide scheduler this query dispatches its morsels
+	// into. nil = sched.Shared(), the process-wide default pool with
+	// unlimited admission. Servers pass their own admission-controlled pool.
+	// Workers stays the query's parallelism: it is the in-flight morsel cap
+	// and per-query state fan-out (slot count), independent of the pool size.
+	Pool *sched.Pool
 }
 
 func (o Options) withDefaults() Options {
@@ -166,6 +171,11 @@ func (q *queryState) failure() error {
 	return q.err
 }
 
+// errQueryStopped is the sentinel a morsel task returns when the query has
+// already failed or been canceled: it stops the task set early without
+// introducing a new error (the real failure lives in queryState).
+var errQueryStopped = errors.New("exec: query stopped")
+
 // Execute runs a lowered plan and returns its result.
 func Execute(plan *core.Plan, opts Options) (*Result, error) {
 	return ExecuteContext(context.Background(), plan, opts)
@@ -187,6 +197,25 @@ func ExecuteContext(ctx context.Context, plan *core.Plan, opts Options) (*Result
 	// The per-morsel latency histogram child is resolved once per query; the
 	// morsel loop observes through the pointer (two atomic adds per morsel).
 	morselHist := obs.Default.MorselLatency.With(backend)
+
+	// Admission: the query enters the engine-wide scheduler before it builds
+	// any state. A rejected query (queue full, draining, over-capacity, or a
+	// context that expired while queued) never ran — no worker contexts, no
+	// tables, no partial trace.
+	pool := opts.Pool
+	if pool == nil {
+		pool = sched.Shared()
+	}
+	adm, err := pool.Admit(ctx, plan.Name, opts.MemoryBudget, opts.Workers)
+	if err != nil {
+		err = admissionError(err)
+		wall := time.Since(start)
+		canceled := errors.Is(err, ErrCanceled) || errors.Is(err, ErrDeadlineExceeded)
+		metrics.Default.QueryDone(nil, wall, err, canceled, false)
+		obs.Default.ObserveQuery(backend, wall, 0)
+		return nil, err
+	}
+	defer adm.Release()
 
 	// qt is nil unless tracing was requested; every recording site below is
 	// guarded on it at morsel granularity or coarser.
@@ -306,72 +335,68 @@ func ExecuteContext(ctx context.Context, plan *core.Plan, opts Options) (*Result
 			}
 		}
 
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < opts.Workers; w++ {
-			wg.Add(1)
-			// pprof labels make worker goroutines attributable in CPU and
-			// goroutine profiles: samples group by query, pipeline, backend
-			// and worker. Applied once per worker per pipeline — never on
-			// the per-morsel or per-row path.
-			labels := pprof.Labels(
-				"query", plan.Name,
-				"pipeline", pipe.Name,
-				"backend", opts.Backend.String(),
-				"worker", strconv.Itoa(w),
-			)
-			go pprof.Do(ctx, labels, func(context.Context) {
-				defer wg.Done()
-				wctx := ctxs[w]
-				var out *storage.Chunk
-				if outs != nil {
-					out = outs[w]
-				}
-				for {
-					if qs.stopped() {
-						return
-					}
-					i := int(next.Add(1)) - 1
-					if i >= len(morsels) {
-						return
-					}
-					// Trace recording works by deltas over the worker's own
-					// counters, so the runner's per-morsel accounting (tuples,
-					// hybrid routing) is captured without touching hot paths.
-					// The morsel is always timed: the duration feeds the
-					// process-wide latency histogram even when tracing is off.
-					var tup0, jit0, vec0, lh0, sp0, bs0 int64
-					if pt != nil {
-						tup0 = wctx.Counters.Tuples
-						jit0 = wctx.Counters.MorselsCompiled
-						vec0 = wctx.Counters.MorselsVectorized
-						lh0 = wctx.Counters.HTLocalHits
-						sp0 = wctx.Counters.HTSpills
-						bs0 = wctx.Counters.HTBloomSkips
-					}
-					t0 := time.Now()
-					err := runMorselSafe(plan.Name, pipe.Name, opts.Backend, r, w, i, wctx, binder, morsels[i], out)
-					elapsed := time.Since(t0)
-					morselHist.ObserveDuration(elapsed)
-					if pt != nil {
-						wt := &pt.Workers[w]
-						wt.Busy += elapsed
-						wt.Morsels++
-						wt.Tuples += wctx.Counters.Tuples - tup0
-						wt.JIT += int(wctx.Counters.MorselsCompiled - jit0)
-						wt.Vectorized += int(wctx.Counters.MorselsVectorized - vec0)
-						wt.LocalHits += wctx.Counters.HTLocalHits - lh0
-						wt.Spills += wctx.Counters.HTSpills - sp0
-						wt.BloomSkips += wctx.Counters.HTBloomSkips - bs0
-					}
-					if err != nil {
-						qs.fail(err)
-						return
-					}
-				}
-			})
+		// Morsels dispatch into the shared pool instead of per-query worker
+		// goroutines. slot is the query-local worker slot in
+		// [0, opts.Workers): the scheduler guarantees at most one in-flight
+		// task per slot, so ctxs[slot] / outs[slot] / pt.Workers[slot] keep
+		// their single-writer discipline even though different pool workers
+		// serve the slot over the pipeline's lifetime.
+		runErr := adm.Run(ctx, len(morsels), func(slot, i int) error {
+			if qs.stopped() {
+				return errQueryStopped
+			}
+			wctx := ctxs[slot]
+			var out *storage.Chunk
+			if outs != nil {
+				out = outs[slot]
+			}
+			// Trace recording works by deltas over the slot's own counters,
+			// so the runner's per-morsel accounting (tuples, hybrid routing)
+			// is captured without touching hot paths. The morsel is always
+			// timed: the duration feeds the process-wide latency histogram
+			// even when tracing is off.
+			var tup0, jit0, vec0, lh0, sp0, bs0 int64
+			if pt != nil {
+				tup0 = wctx.Counters.Tuples
+				jit0 = wctx.Counters.MorselsCompiled
+				vec0 = wctx.Counters.MorselsVectorized
+				lh0 = wctx.Counters.HTLocalHits
+				sp0 = wctx.Counters.HTSpills
+				bs0 = wctx.Counters.HTBloomSkips
+			}
+			t0 := time.Now()
+			err := runMorselSafe(plan.Name, pipe.Name, opts.Backend, r, slot, i, wctx, binder, morsels[i], out)
+			elapsed := time.Since(t0)
+			morselHist.ObserveDuration(elapsed)
+			if pt != nil {
+				wt := &pt.Workers[slot]
+				wt.Busy += elapsed
+				wt.Morsels++
+				wt.Tuples += wctx.Counters.Tuples - tup0
+				wt.JIT += int(wctx.Counters.MorselsCompiled - jit0)
+				wt.Vectorized += int(wctx.Counters.MorselsVectorized - vec0)
+				wt.LocalHits += wctx.Counters.HTLocalHits - lh0
+				wt.Spills += wctx.Counters.HTSpills - sp0
+				wt.BloomSkips += wctx.Counters.HTBloomSkips - bs0
+			}
+			if err != nil {
+				qs.fail(err)
+				return errQueryStopped
+			}
+			return nil
+		})
+		if runErr != nil && !errors.Is(runErr, errQueryStopped) {
+			switch {
+			case errors.Is(runErr, sched.ErrQueryCanceled):
+				// Drain force-cancel: the scheduler shut down under this
+				// query; report it as a cancellation.
+				qs.fail(fmt.Errorf("%w: %w", ErrCanceled, runErr))
+			case errors.Is(runErr, context.Canceled), errors.Is(runErr, context.DeadlineExceeded):
+				qs.fail(ctxCause(runErr))
+			default:
+				qs.fail(runErr)
+			}
 		}
-		wg.Wait()
 
 		fi := r.finish()
 		res.CompileTime += fi.compileTime

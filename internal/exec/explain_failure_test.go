@@ -48,6 +48,10 @@ func TestExplainAnalyzeCanceledQuery(t *testing.T) {
 func TestExplainAnalyzeDegradedPartialAnnotations(t *testing.T) {
 	defer faultinject.Reset()
 	faultinject.Arm(faultinject.ExecHybridCompile, faultinject.Fault{Err: errors.New("injected compile failure")})
+	// Slow the morsels a little: the background compile goroutine must get
+	// scheduled (and hit the injected failure) before the pipelines finish,
+	// which a microsecond-long query on a single-CPU host cannot guarantee.
+	faultinject.Arm(faultinject.ExecMorsel, faultinject.Fault{Delay: 200 * time.Microsecond})
 	plan := lowerOrDie(t, groupByNode(makeTable()), "explaindegraded")
 	lat := LatencyNone
 	out, res, err := ExplainAnalyze(context.Background(), plan, Options{

@@ -49,6 +49,16 @@ const (
 	ServeExecute = "serve/execute"
 	// ServeRespond fires before the response body is written (panic-capable).
 	ServeRespond = "serve/respond"
+	// SchedAdmit fires at the top of Pool.Admit (error point: a fired fault
+	// fails the admission before the query enters the queue).
+	SchedAdmit = "sched/admit"
+	// SchedDispatch fires in a pool worker just before it runs a task
+	// (panic-capable: panics are recovered into a typed task failure that
+	// fails only that query).
+	SchedDispatch = "sched/dispatch"
+	// SchedDrain fires at the start of Pool.Close (error point: a fired fault
+	// skips the graceful wait and exercises the force-cancellation path).
+	SchedDrain = "sched/drain"
 )
 
 // Fault describes when an armed point fires and what it injects.

@@ -39,6 +39,16 @@ type Registry struct {
 	compileNanos atomic.Int64
 
 	memPeakBytes atomic.Int64
+
+	// Scheduler counters, fed by internal/sched: admissions, load shedding,
+	// and the point-in-time running/queued gauges every pool mirrors here so
+	// /debug/vars and /metrics distinguish "busy" from "overloaded".
+	schedAdmitted      atomic.Int64
+	schedShed          atomic.Int64
+	schedQueueTimeouts atomic.Int64
+	schedDrainCanceled atomic.Int64
+	schedRunning       atomic.Int64 // gauge: admitted queries now
+	schedQueued        atomic.Int64 // gauge: admissions waiting now
 }
 
 // Default is the process-wide registry the executor feeds; it is exported
@@ -89,6 +99,38 @@ func (r *Registry) QueryDone(c *stats.Counters, wall time.Duration, err error, c
 	}
 }
 
+// SchedAdmitted records one query admission into a worker pool.
+func (r *Registry) SchedAdmitted() {
+	r.schedAdmitted.Add(1)
+	r.schedRunning.Add(1)
+}
+
+// SchedReleased records one admitted query releasing its slot.
+func (r *Registry) SchedReleased() {
+	r.schedRunning.Add(-1)
+}
+
+// SchedShed records one query shed because the admission queue was full.
+func (r *Registry) SchedShed() {
+	r.schedShed.Add(1)
+}
+
+// SchedQueueTimeout records one queued admission abandoned by its context.
+func (r *Registry) SchedQueueTimeout() {
+	r.schedQueueTimeouts.Add(1)
+}
+
+// SchedDrainCanceled records n queries canceled by a drain deadline.
+func (r *Registry) SchedDrainCanceled(n int64) {
+	r.schedDrainCanceled.Add(n)
+}
+
+// SchedQueued moves the queued-admissions gauge by delta (+1 on enqueue,
+// -1 on admit/abandon).
+func (r *Registry) SchedQueued(delta int64) {
+	r.schedQueued.Add(delta)
+}
+
 // Snapshot is a point-in-time copy of the registry, in export form. Field
 // names double as the exported metric names.
 type Snapshot struct {
@@ -104,6 +146,13 @@ type Snapshot struct {
 	QueryNanos       int64 `json:"query_nanos"`
 	CompileNanos     int64 `json:"compile_nanos"`
 	MemPeakBytes     int64 `json:"mem_peak_bytes"`
+
+	SchedAdmitted      int64 `json:"sched_admitted"`
+	SchedShed          int64 `json:"sched_shed"`
+	SchedQueueTimeouts int64 `json:"sched_queue_timeouts"`
+	SchedDrainCanceled int64 `json:"sched_drain_canceled"`
+	SchedRunning       int64 `json:"sched_running"`
+	SchedQueued        int64 `json:"sched_queued"`
 }
 
 // Snapshot copies the registry's current values.
@@ -121,6 +170,13 @@ func (r *Registry) Snapshot() Snapshot {
 		QueryNanos:       r.queryNanos.Load(),
 		CompileNanos:     r.compileNanos.Load(),
 		MemPeakBytes:     r.memPeakBytes.Load(),
+
+		SchedAdmitted:      r.schedAdmitted.Load(),
+		SchedShed:          r.schedShed.Load(),
+		SchedQueueTimeouts: r.schedQueueTimeouts.Load(),
+		SchedDrainCanceled: r.schedDrainCanceled.Load(),
+		SchedRunning:       r.schedRunning.Load(),
+		SchedQueued:        r.schedQueued.Load(),
 	}
 }
 
@@ -140,6 +196,13 @@ func (r *Registry) Dump() string {
 		"query_nanos":       s.QueryNanos,
 		"compile_nanos":     s.CompileNanos,
 		"mem_peak_bytes":    s.MemPeakBytes,
+
+		"sched_admitted":       s.SchedAdmitted,
+		"sched_shed":           s.SchedShed,
+		"sched_queue_timeouts": s.SchedQueueTimeouts,
+		"sched_drain_canceled": s.SchedDrainCanceled,
+		"sched_running":        s.SchedRunning,
+		"sched_queued":         s.SchedQueued,
 	}
 	names := make([]string, 0, len(rows))
 	for n := range rows {

@@ -136,20 +136,27 @@ func (h *Histogram) Summarize() Summary {
 }
 
 // Family is one named histogram metric with a single label dimension
-// ("backend"); children are created on first use and live forever, matching
-// the bounded backend cardinality.
+// (default "backend"); children are created on first use and live forever,
+// matching the bounded label cardinality.
 type Family struct {
-	Name string
-	Help string
+	Name  string
+	Help  string
+	Label string // label name, e.g. "backend" or "outcome"
 
 	bounds []float64
 	mu     sync.RWMutex
 	kids   map[string]*Histogram
 }
 
-// NewFamily creates an empty labeled histogram family.
+// NewFamily creates an empty histogram family labeled by "backend".
 func NewFamily(name, help string, bounds []float64) *Family {
-	return &Family{Name: name, Help: help, bounds: bounds, kids: map[string]*Histogram{}}
+	return NewLabeledFamily(name, help, "backend", bounds)
+}
+
+// NewLabeledFamily creates an empty histogram family with an explicit label
+// dimension name.
+func NewLabeledFamily(name, help, label string, bounds []float64) *Family {
+	return &Family{Name: name, Help: help, Label: label, bounds: bounds, kids: map[string]*Histogram{}}
 }
 
 // With returns the child histogram for a label value, creating it on first
@@ -195,6 +202,10 @@ type Registry struct {
 	MorselLatency *Family
 	// QueryRows is per-query source-tuple throughput (rows/sec), per backend.
 	QueryRows *Family
+	// QueueWait is the time a query spent in the scheduler's admission queue,
+	// labeled by outcome ("admitted", "shed", "timeout", "draining"). Fed by
+	// internal/sched once per admission attempt.
+	QueueWait *Family
 }
 
 // NewRegistry creates an empty histogram registry.
@@ -203,6 +214,7 @@ func NewRegistry() *Registry {
 		QueryLatency:  NewFamily("inkfuse_query_seconds", "End-to-end query latency by backend.", LatencyBounds),
 		MorselLatency: NewFamily("inkfuse_morsel_seconds", "Per-morsel execution latency by backend.", LatencyBounds),
 		QueryRows:     NewFamily("inkfuse_query_rows_per_second", "Per-query source-row throughput by backend.", ThroughputBounds),
+		QueueWait:     NewLabeledFamily("inkfuse_queue_wait_seconds", "Admission-queue wait by outcome.", "outcome", LatencyBounds),
 	}
 }
 
@@ -222,7 +234,11 @@ func (r *Registry) ObserveQuery(backend string, wall time.Duration, tuples int64
 
 // gauges names the flat counters that are point-in-time values rather than
 // monotonic counters, for exposition typing.
-var gauges = map[string]bool{"inkfuse_mem_peak_bytes": true}
+var gauges = map[string]bool{
+	"inkfuse_mem_peak_bytes": true,
+	"inkfuse_sched_running":  true,
+	"inkfuse_sched_queued":   true,
+}
 
 // PrometheusText renders the whole observability surface in Prometheus text
 // exposition format: the flat engine counters of internal/metrics followed by
@@ -240,7 +256,7 @@ func (r *Registry) PrometheusText() string {
 		}
 		fmt.Fprintf(&b, "# TYPE %s %s\n%s\n", name, kind, line)
 	}
-	for _, f := range []*Family{r.QueryLatency, r.MorselLatency, r.QueryRows} {
+	for _, f := range []*Family{r.QueryLatency, r.MorselLatency, r.QueryRows, r.QueueWait} {
 		writeFamily(&b, f)
 	}
 	return b.String()
@@ -257,12 +273,12 @@ func writeFamily(b *strings.Builder, f *Family) {
 		var cum int64
 		for i, bound := range h.bounds {
 			cum += h.counts[i].Load()
-			fmt.Fprintf(b, "%s_bucket{backend=%q,le=%q} %d\n", f.Name, l, formatBound(bound), cum)
+			fmt.Fprintf(b, "%s_bucket{%s=%q,le=%q} %d\n", f.Name, f.Label, l, formatBound(bound), cum)
 		}
 		cum += h.counts[len(h.bounds)].Load()
-		fmt.Fprintf(b, "%s_bucket{backend=%q,le=\"+Inf\"} %d\n", f.Name, l, cum)
-		fmt.Fprintf(b, "%s_sum{backend=%q} %g\n", f.Name, l, h.Sum())
-		fmt.Fprintf(b, "%s_count{backend=%q} %d\n", f.Name, l, h.Count())
+		fmt.Fprintf(b, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", f.Name, f.Label, l, cum)
+		fmt.Fprintf(b, "%s_sum{%s=%q} %g\n", f.Name, f.Label, l, h.Sum())
+		fmt.Fprintf(b, "%s_count{%s=%q} %d\n", f.Name, f.Label, l, h.Count())
 	}
 }
 
@@ -275,11 +291,11 @@ func formatBound(v float64) string {
 // lines — the compact view for logs and CLIs.
 func (r *Registry) SummaryText() string {
 	var b strings.Builder
-	for _, f := range []*Family{r.QueryLatency, r.MorselLatency, r.QueryRows} {
+	for _, f := range []*Family{r.QueryLatency, r.MorselLatency, r.QueryRows, r.QueueWait} {
 		for _, l := range f.labels() {
 			s := f.With(l).Summarize()
-			fmt.Fprintf(&b, "%s{backend=%q} count=%d p50=%g p90=%g p99=%g\n",
-				f.Name, l, s.Count, s.P50, s.P90, s.P99)
+			fmt.Fprintf(&b, "%s{%s=%q} count=%d p50=%g p90=%g p99=%g\n",
+				f.Name, f.Label, l, s.Count, s.P50, s.P90, s.P99)
 		}
 	}
 	return b.String()

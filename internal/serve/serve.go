@@ -28,6 +28,7 @@ import (
 	"inkfuse/internal/exec"
 	"inkfuse/internal/faultinject"
 	"inkfuse/internal/obs"
+	"inkfuse/internal/sched"
 	"inkfuse/internal/storage"
 	"inkfuse/internal/tpch"
 	"inkfuse/internal/types"
@@ -50,15 +51,31 @@ type Config struct {
 	// MaxRows caps the result rows inlined into a response (and is itself the
 	// cap for per-request max_rows). <= 0 defaults to 100.
 	MaxRows int
+	// EngineWorkers sizes the engine-wide scheduler pool all requests share
+	// (0 = sched.DefaultWorkers()). Per-request workers stay the query's
+	// parallelism; the pool bounds total execution concurrency.
+	EngineWorkers int
+	// MaxConcurrent caps concurrently executing queries; excess requests wait
+	// in the bounded admission queue and are shed with 429 once it fills.
+	// 0 = unlimited (no admission control).
+	MaxConcurrent int
+	// QueueDepth bounds the admission queue (0 = sched.DefaultQueueDepth,
+	// negative = no queue: shed immediately at capacity).
+	QueueDepth int
+	// MemLimit caps the sum of admitted queries' memory budgets
+	// (0 = unlimited).
+	MemLimit int64
 	// Logger receives the query log; nil uses slog.Default().
 	Logger *slog.Logger
 }
 
-// Server is one inkserve instance: a resident catalog plus HTTP handlers.
+// Server is one inkserve instance: a resident catalog, the engine-wide
+// scheduler pool every request executes through, and the HTTP handlers.
 type Server struct {
-	cfg Config
-	cat *storage.Catalog
-	log *slog.Logger
+	cfg  Config
+	cat  *storage.Catalog
+	pool *sched.Pool
+	log  *slog.Logger
 
 	start    time.Time
 	seq      atomic.Int64 // request ids for the query log
@@ -81,7 +98,26 @@ func New(cfg Config) *Server {
 	if log == nil {
 		log = slog.Default()
 	}
-	return &Server{cfg: cfg, cat: tpch.Generate(cfg.SF, cfg.Seed), log: log, start: time.Now()}
+	pool := sched.NewPool(sched.Config{
+		Workers:       cfg.EngineWorkers,
+		MaxConcurrent: cfg.MaxConcurrent,
+		QueueDepth:    cfg.QueueDepth,
+		MemLimit:      cfg.MemLimit,
+	})
+	return &Server{cfg: cfg, cat: tpch.Generate(cfg.SF, cfg.Seed), pool: pool, log: log, start: time.Now()}
+}
+
+// Close drains the server's scheduler: admissions stop (new queries get 503
+// "draining"), in-flight queries run until ctx expires, and stragglers are
+// then canceled (their requests end with 504). Returns how the drain
+// resolved; call once, at shutdown, alongside http.Server.Shutdown.
+func (s *Server) Close(ctx context.Context) sched.CloseStats {
+	return s.pool.Close(ctx)
+}
+
+// SchedStats snapshots the server's scheduler pool (health and tests).
+func (s *Server) SchedStats() sched.Stats {
+	return s.pool.Stats()
 }
 
 // Handler returns the server's route table. Everything is mounted on a fresh
@@ -214,6 +250,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		MemoryBudget: req.MemoryBudget,
 		Profile:      req.Profile,
 		Trace:        req.Profile,
+		Pool:         s.pool,
 	}
 	ctx := r.Context()
 	timeout := s.cfg.DefaultTimeout
@@ -247,6 +284,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		status, kind := classify(err)
 		s.logQuery(id, req.Query, backendName, wall, res, err)
+		if kind == "shed" {
+			// Load shedding is transient back-pressure, not failure: tell
+			// well-behaved clients when to retry.
+			w.Header().Set("Retry-After", "1")
+		}
 		resp := ErrorResponse{Error: err.Error(), Kind: kind}
 		var qe *exec.QueryError
 		if errors.As(err, &qe) {
@@ -308,9 +350,18 @@ func renderRow(c *storage.Chunk, i int) []any {
 	return row
 }
 
-// classify maps an engine error onto an HTTP status and error kind.
+// classify maps an engine error onto an HTTP status and error kind. Scheduler
+// rejections come first: a shed or draining query never ran, and neither is a
+// server fault — the load-shedding contract is that overload produces 429/503,
+// never 500.
 func classify(err error) (int, string) {
 	switch {
+	case errors.Is(err, sched.ErrQueueFull):
+		return http.StatusTooManyRequests, "shed"
+	case errors.Is(err, sched.ErrDraining):
+		return http.StatusServiceUnavailable, "draining"
+	case errors.Is(err, sched.ErrOverCapacity):
+		return http.StatusRequestEntityTooLarge, "over_capacity"
 	case errors.Is(err, exec.ErrDeadlineExceeded):
 		return http.StatusGatewayTimeout, "deadline"
 	case errors.Is(err, exec.ErrCanceled):
@@ -358,21 +409,48 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
+	// Health degrades with the scheduler: "draining" once shutdown started,
+	// "shedding" while the admission queue is full (the next query would get
+	// 429) — both 503, so load balancers stop routing here before requests
+	// start failing.
+	ps := s.pool.Stats()
+	status, code := "ok", http.StatusOK
+	switch {
+	case ps.Draining:
+		status, code = "draining", http.StatusServiceUnavailable
+	case ps.MaxConcurrent > 0 && ps.Running >= ps.MaxConcurrent && ps.Queued >= ps.QueueDepth:
+		status, code = "shedding", http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":   status,
 		"uptime_s": time.Since(s.start).Seconds(),
 		"sf":       s.cfg.SF,
 		"served":   s.served.Load(),
 		"inflight": s.inflight.Load(),
+		"running":  ps.Running,
+		"queued":   ps.Queued,
+		"shed":     ps.Shed,
 	})
 }
 
 func (s *Server) handleQueries(w http.ResponseWriter, _ *http.Request) {
+	ps := s.pool.Stats()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"queries":         tpch.Queries,
 		"backends":        []string{"vectorized", "compiling", "rof", "hybrid"},
 		"default_backend": s.cfg.DefaultBackend,
 		"max_rows":        s.cfg.MaxRows,
+		"scheduler": map[string]any{
+			"workers":        ps.Workers,
+			"max_concurrent": ps.MaxConcurrent,
+			"queue_depth":    ps.QueueDepth,
+			"running":        ps.Running,
+			"queued":         ps.Queued,
+			"admitted":       ps.Admitted,
+			"shed":           ps.Shed,
+			"queue_timeouts": ps.QueueTimeouts,
+			"draining":       ps.Draining,
+		},
 	})
 }
 

@@ -1,0 +1,162 @@
+package serve
+
+// Load-shedding and graceful-drain tests: an overloaded server returns 429 +
+// Retry-After (never 500), /healthz degrades to 503 while shedding, Close
+// rejects new queries with 503 "draining" and force-cancels in-flight ones as
+// 504 at the drain deadline — the full overload contract of DESIGN.md §11.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"inkfuse/internal/faultinject"
+	"inkfuse/internal/sched"
+)
+
+// newShedServer builds a small private server; shed tests cannot share the
+// package's common instance because they need their own admission config.
+func newShedServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	cfg.SF = 0.005
+	cfg.SlowQuery = time.Hour
+	cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	return New(cfg)
+}
+
+// waitSched polls the server's scheduler until cond holds.
+func waitSched(t *testing.T, srv *Server, cond func(sched.Stats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond(srv.SchedStats()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("scheduler never reached expected state: %+v", srv.SchedStats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestOverloadShedsWith429AndHealthDegrades(t *testing.T) {
+	defer faultinject.Reset()
+	srv := newShedServer(t, Config{MaxConcurrent: 1, QueueDepth: -1})
+	defer srv.Close(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Slow morsels keep the first query holding the only admission slot
+	// while the second arrives.
+	faultinject.Arm(faultinject.ExecMorsel, faultinject.Fault{Delay: 50 * time.Millisecond})
+	firstDone := make(chan int, 1)
+	go func() {
+		resp, _ := postQuery(t, ts, `{"query":"q6","backend":"vectorized"}`)
+		firstDone <- resp.StatusCode
+	}()
+	waitSched(t, srv, func(s sched.Stats) bool { return s.Running == 1 })
+
+	// No queue: the second query is shed immediately with 429 + Retry-After.
+	resp, body := postQuery(t, ts, `{"query":"q6","backend":"vectorized"}`)
+	if resp.StatusCode != 429 {
+		t.Fatalf("overloaded query status = %d, want 429: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After header")
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Kind != "shed" {
+		t.Fatalf("shed response kind = %q (err %v), want \"shed\"", er.Kind, err)
+	}
+
+	// Health reports shedding at 503 while the slot is held and the (empty)
+	// queue is full.
+	hresp, hbody := get(t, ts, "/healthz")
+	if hresp.StatusCode != 503 || !strings.Contains(string(hbody), `"status": "shedding"`) {
+		t.Fatalf("healthz under overload = %d %s, want 503 shedding", hresp.StatusCode, hbody)
+	}
+
+	// The held query itself completes fine once its morsels finish.
+	faultinject.Reset()
+	if code := <-firstDone; code != 200 {
+		t.Fatalf("held query status = %d, want 200", code)
+	}
+	waitSched(t, srv, func(s sched.Stats) bool { return s.Running == 0 })
+	if hresp, hbody = get(t, ts, "/healthz"); hresp.StatusCode != 200 {
+		t.Fatalf("healthz after load = %d %s, want 200", hresp.StatusCode, hbody)
+	}
+
+	// The observability surfaces report the shed: /queries scheduler section
+	// and the expvar/metrics counters.
+	qresp, qbody := get(t, ts, "/queries")
+	if qresp.StatusCode != 200 {
+		t.Fatalf("/queries status = %d", qresp.StatusCode)
+	}
+	var ql struct {
+		Scheduler struct {
+			MaxConcurrent int   `json:"max_concurrent"`
+			Shed          int64 `json:"shed"`
+		} `json:"scheduler"`
+	}
+	if err := json.Unmarshal(qbody, &ql); err != nil {
+		t.Fatal(err)
+	}
+	if ql.Scheduler.MaxConcurrent != 1 || ql.Scheduler.Shed != 1 {
+		t.Fatalf("/queries scheduler = %+v, want max_concurrent 1, shed 1", ql.Scheduler)
+	}
+	mresp, mbody := get(t, ts, "/metrics")
+	if mresp.StatusCode != 200 || !strings.Contains(string(mbody), "inkfuse_sched_shed") {
+		t.Fatalf("/metrics missing sched counters: %d", mresp.StatusCode)
+	}
+}
+
+func TestDrainRejectsNewAndCancelsInFlight(t *testing.T) {
+	defer faultinject.Reset()
+	srv := newShedServer(t, Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	faultinject.Arm(faultinject.ExecMorsel, faultinject.Fault{Delay: 50 * time.Millisecond})
+	type result struct {
+		code int
+		body []byte
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		resp, body := postQuery(t, ts, `{"query":"q1","backend":"vectorized"}`)
+		inflight <- result{resp.StatusCode, body}
+	}()
+	waitSched(t, srv, func(s sched.Stats) bool { return s.Running == 1 })
+
+	// Drain with an already-expired deadline: the in-flight query is
+	// force-canceled and its request ends as 504, never 500.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cs := srv.Close(ctx)
+	if cs.Canceled != 1 {
+		t.Fatalf("CloseStats = %+v, want 1 canceled", cs)
+	}
+	r := <-inflight
+	if r.code != 504 {
+		t.Fatalf("drained in-flight query status = %d, want 504: %s", r.code, r.body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(r.body, &er); err != nil || er.Kind != "canceled" {
+		t.Fatalf("drained query kind = %q (err %v), want \"canceled\"", er.Kind, err)
+	}
+
+	// After Close: new queries get 503 "draining", health reports draining.
+	resp, body := postQuery(t, ts, `{"query":"q6","backend":"vectorized"}`)
+	if resp.StatusCode != 503 {
+		t.Fatalf("post-drain query status = %d, want 503: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &er); err != nil || er.Kind != "draining" {
+		t.Fatalf("post-drain kind = %q (err %v), want \"draining\"", er.Kind, err)
+	}
+	hresp, hbody := get(t, ts, "/healthz")
+	if hresp.StatusCode != 503 || !strings.Contains(string(hbody), `"status": "draining"`) {
+		t.Fatalf("healthz after drain = %d %s, want 503 draining", hresp.StatusCode, hbody)
+	}
+}

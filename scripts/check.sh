@@ -62,3 +62,61 @@ echo "$metrics" | grep -q 'inkfuse_query_seconds_bucket{backend="vectorized",le=
 kill "$serve_pid"
 trap - EXIT
 echo "inkserve smoke test OK"
+
+# Concurrent-load smoke: an admission-controlled server under 16 parallel
+# clients must answer every request with 200 (served), 429 (shed) or 504
+# (deadline) — never 500, never a hang — and shut down cleanly within the
+# drain deadline on SIGTERM, logging the drain outcome.
+echo "inkserve concurrent-load smoke..."
+/tmp/inkserve-smoke -addr 127.0.0.1:0 -sf 0.01 -backend vectorized \
+    -max-concurrent 2 -queue-depth 2 -drain 5s \
+    >/tmp/inkserve-conc.out 2>/tmp/inkserve-conc.log &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true' EXIT
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's|^inkserve: listening on http://||p' /tmp/inkserve-conc.out)
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "inkserve (concurrent smoke) did not come up" >&2
+    cat /tmp/inkserve-conc.log >&2
+    exit 1
+fi
+: > /tmp/inkserve-conc.codes
+curl_pids=()
+for _ in $(seq 1 16); do
+    curl -s -o /dev/null -w '%{http_code}\n' --max-time 30 \
+        "http://$addr/query" -d '{"query":"q1","backend":"vectorized"}' \
+        >> /tmp/inkserve-conc.codes &
+    curl_pids+=("$!")
+done
+wait "${curl_pids[@]}"
+if [ "$(wc -l < /tmp/inkserve-conc.codes)" -ne 16 ]; then
+    echo "concurrent smoke: not all 16 requests completed" >&2
+    cat /tmp/inkserve-conc.codes >&2
+    exit 1
+fi
+if grep -qvE '^(200|429|504)$' /tmp/inkserve-conc.codes; then
+    echo "concurrent smoke: unexpected status under load:" >&2
+    sort /tmp/inkserve-conc.codes | uniq -c >&2
+    exit 1
+fi
+grep -q '^200$' /tmp/inkserve-conc.codes \
+    || { echo "concurrent smoke: no request succeeded" >&2; exit 1; }
+kill -TERM "$serve_pid"
+for _ in $(seq 1 100); do
+    kill -0 "$serve_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$serve_pid" 2>/dev/null; then
+    echo "concurrent smoke: inkserve did not exit within the drain deadline" >&2
+    kill -9 "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+wait "$serve_pid" 2>/dev/null || true
+trap - EXIT
+grep -q 'engine drained' /tmp/inkserve-conc.log \
+    || { echo "concurrent smoke: drain log line missing" >&2; cat /tmp/inkserve-conc.log >&2; exit 1; }
+echo "inkserve concurrent-load smoke OK"
