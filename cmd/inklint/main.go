@@ -1,0 +1,71 @@
+// Command inklint runs the engine's static-analysis suite (internal/lint):
+// hotpath, backendcomplete, typederr, and lockscope. It is wired into
+// scripts/check.sh as a tier-1 gate.
+//
+// Usage:
+//
+//	inklint [-run hotpath,typederr] [patterns ...]
+//
+// Patterns are module-relative package patterns ("./...", "./internal/vm",
+// "./internal/rt/..."); the default is the whole module. Exit status is 1
+// when any diagnostic is reported, 2 on load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"inkfuse/internal/lint"
+)
+
+func main() {
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: inklint [flags] [package patterns]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *run != "" {
+		analyzers = lint.ByName(strings.Split(*run, ","))
+		if analyzers == nil {
+			fmt.Fprintf(os.Stderr, "inklint: unknown analyzer in -run=%s\n", *run)
+			os.Exit(2)
+		}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "inklint: %v\n", err)
+		os.Exit(2)
+	}
+	prog, err := lint.Load(lint.LoadConfig{Dir: wd, Patterns: flag.Args()})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "inklint: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags := lint.RunAnalyzers(prog, analyzers)
+	for _, d := range diags {
+		fname := d.Pos.Filename
+		if rel, err := filepath.Rel(wd, fname); err == nil && !strings.HasPrefix(rel, "..") {
+			fname = rel
+		}
+		fmt.Printf("%s:%d:%d: %s(%s): %s\n", fname, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Category, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "inklint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -41,6 +41,8 @@ func BuildPrimitive(op SubOp) (*ir.Func, error) {
 // instantiation — the concrete witness of the enumeration invariant
 // (paper §IV-A). The engine generates the complete vectorized interpreter by
 // building a primitive for each returned suboperator.
+//
+//inklint:enumerate core.SubOp
 func Enumerate() []SubOp {
 	var out []SubOp
 

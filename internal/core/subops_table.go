@@ -14,6 +14,8 @@ import (
 // n+1 suboperators a relational filter breaks into, paper Fig 4). It has no
 // parameters — filtering is always on a bool column — and no primitive of
 // its own: the per-type FilterCopy primitives embed the branch.
+//
+//inklint:allow enumerate — FilterScope has no standalone primitive; the branch is fused into every FilterCopy instantiation
 type FilterScope struct {
 	Cond *IU
 }

@@ -62,7 +62,7 @@ func ParseBackend(s string) (Backend, error) {
 	case "hybrid", "adaptive":
 		return BackendHybrid, nil
 	}
-	return 0, fmt.Errorf("exec: unknown backend %q", s)
+	return 0, fmt.Errorf("%w %q", ErrUnknownBackend, s)
 }
 
 // LatencyModel reproduces the wall-clock cost of turning generated code into

@@ -1,3 +1,10 @@
+// The exec package is an error boundary: every error it returns must be a
+// typed sentinel, a *QueryError, or wrap one via %w, so the serving layer's
+// status classification never falls through to a generic 500. Enforced by
+// the typederr analyzer (cmd/inklint).
+//
+//inklint:errorboundary
+
 package exec
 
 import (
@@ -21,6 +28,13 @@ var (
 	// ErrPanic reports a panic recovered inside query execution. The process
 	// and other queries are unaffected; the *QueryError carries the stack.
 	ErrPanic = errors.New("inkfuse: query panicked")
+	// ErrUnknownBackend reports a backend name or value outside the four
+	// execution backends. The serving layer classifies it as a client error.
+	ErrUnknownBackend = errors.New("inkfuse: unknown backend")
+	// ErrInvalidPlan reports a structurally broken plan: an unknown source
+	// type, a read of an unbuilt aggregate, or (with Options.VerifyIR) a
+	// core.VerifyPlan failure.
+	ErrInvalidPlan = errors.New("inkfuse: invalid plan")
 )
 
 // QueryError is a query-scoped failure: which query, pipeline, backend,

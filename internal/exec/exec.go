@@ -62,6 +62,12 @@ type Options struct {
 	// Workers stays the query's parallelism: it is the in-flight morsel cap
 	// and per-query state fan-out (slot count), independent of the pool size.
 	Pool *sched.Pool
+	// VerifyIR runs core.VerifyPlan on the plan before execution: IU
+	// def-use/single-producer checks, edge kind consistency, and pipeline
+	// breaker placement. A rejected plan fails with ErrInvalidPlan before any
+	// worker state is built. Off by default (lowering is trusted in
+	// production); tests and the serving layer's strict mode turn it on.
+	VerifyIR bool
 }
 
 func (o Options) withDefaults() Options {
@@ -190,6 +196,11 @@ func Execute(plan *core.Plan, opts Options) (*Result, error) {
 // *Result is non-nil with Stats (no Chunk) for diagnostics.
 func ExecuteContext(ctx context.Context, plan *core.Plan, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
+	if opts.VerifyIR {
+		if err := core.VerifyPlan(plan); err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrInvalidPlan, err)
+		}
+	}
 	start := time.Now()
 	qs := &queryState{ctx: ctx}
 	metrics.Default.QueryStarted()
@@ -559,7 +570,7 @@ func bindSource(pipe *core.Pipeline) (sourceBinder, error) {
 		}, nil
 	case *core.AggRead:
 		if s.State.Global == nil {
-			return sourceBinder{}, fmt.Errorf("aggregate source read before its build pipeline completed")
+			return sourceBinder{}, fmt.Errorf("%w: aggregate source read before its build pipeline completed", ErrInvalidPlan)
 		}
 		snap := s.State.Global.Snapshot()
 		return sourceBinder{
@@ -570,7 +581,7 @@ func bindSource(pipe *core.Pipeline) (sourceBinder, error) {
 			},
 		}, nil
 	default:
-		return sourceBinder{}, fmt.Errorf("unknown source %T", pipe.Source)
+		return sourceBinder{}, fmt.Errorf("%w: unknown source %T", ErrInvalidPlan, pipe.Source)
 	}
 }
 

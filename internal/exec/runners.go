@@ -29,7 +29,7 @@ func newRunner(ctx context.Context, pipe *core.Pipeline, opts Options, reg *inte
 	case BackendHybrid:
 		return newHybridRunner(pipe, opts, reg, bg, pt)
 	default:
-		return nil, fmt.Errorf("unknown backend %v", opts.Backend)
+		return nil, fmt.Errorf("%w %v", ErrUnknownBackend, opts.Backend)
 	}
 }
 
@@ -90,6 +90,7 @@ func newChunkScratch(workers, cols int) [][]*storage.Vector {
 	return out
 }
 
+//inkfuse:hotpath
 func (r *vectorizedRunner) runMorsel(w int, ctx *vm.Ctx, src []*storage.Vector, n int, out *storage.Chunk) {
 	run := r.runs[w]
 	sub := r.scratch[w]
@@ -126,6 +127,7 @@ func newCompilingRunner(ctx context.Context, pipe *core.Pipeline, opts Options) 
 	return &compilingRunner{art: art, wait: dur}, nil
 }
 
+//inkfuse:hotpath
 func (r *compilingRunner) runMorsel(w int, ctx *vm.Ctx, src []*storage.Vector, n int, out *storage.Chunk) {
 	r.art.prog.Run(ctx, r.art.states, src, n, out)
 	ctx.Counters.FusedCalls++
@@ -186,6 +188,7 @@ func newROFRunner(ctx context.Context, pipe *core.Pipeline, opts Options) (*rofR
 	return r, nil
 }
 
+//inkfuse:hotpath
 func (r *rofRunner) runMorsel(w int, ctx *vm.Ctx, src []*storage.Vector, n int, out *storage.Chunk) {
 	// Run the steps in lockstep over cache-friendly staged chunks.
 	sub := r.scratch[w]
@@ -366,6 +369,7 @@ func newHybridRunner(pipe *core.Pipeline, opts Options, reg *interp.Registry, bg
 	return &hybridRunner{vec: vec, bg: bg, workers: make([]hybridWorker, opts.Workers), pt: pt}, nil
 }
 
+//inkfuse:hotpath
 func (h *hybridRunner) runMorsel(w int, ctx *vm.Ctx, src []*storage.Vector, n int, out *storage.Chunk) {
 	ws := &h.workers[w]
 	var art *fusedStep
@@ -430,6 +434,7 @@ func (h *hybridRunner) runMorsel(w int, ctx *vm.Ctx, src []*storage.Vector, n in
 	}
 }
 
+//inkfuse:hotpath
 func ewma(old, sample float64, measured bool) float64 {
 	if !measured {
 		return sample

@@ -1,0 +1,49 @@
+package exec
+
+import (
+	"errors"
+	"testing"
+
+	"inkfuse/internal/algebra"
+	"inkfuse/internal/core"
+)
+
+// TestVerifyIRGate checks Options.VerifyIR: a well-formed plan executes
+// unchanged, and a structurally broken one fails with ErrInvalidPlan before
+// any worker state is built.
+func TestVerifyIRGate(t *testing.T) {
+	tbl := makeTable()
+	node := algebra.NewMap(
+		algebra.NewFilter(algebra.NewScan(tbl, "a", "b"), algebra.Lt(algebra.Col("a"), algebra.I64(10))),
+		algebra.NamedExpr{As: "a2", E: algebra.Mul(algebra.Col("b"), algebra.F64(2))},
+	)
+	plan, err := algebra.Lower(node, "verify_ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := LatencyNone
+	res, err := Execute(plan, Options{Backend: BackendVectorized, Workers: 2, Latency: &lat, VerifyIR: true})
+	if err != nil {
+		t.Fatalf("verified plan failed: %v", err)
+	}
+	if res.Chunk.Rows() == 0 {
+		t.Fatal("no rows")
+	}
+
+	// Break the def-use chain: the first op now consumes an IU nothing
+	// defines. The gate must reject it as ErrInvalidPlan.
+	bad, err := algebra.Lower(node, "verify_bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range bad.Pipelines[0].Ops {
+		if fc, ok := op.(*core.FilterCopy); ok {
+			fc.Src = core.NewIU(fc.Src.K, "ghost")
+			break
+		}
+	}
+	_, err = Execute(bad, Options{Backend: BackendVectorized, Workers: 2, Latency: &lat, VerifyIR: true})
+	if !errors.Is(err, ErrInvalidPlan) {
+		t.Fatalf("got %v, want ErrInvalidPlan", err)
+	}
+}

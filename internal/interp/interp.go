@@ -172,6 +172,8 @@ type Profile struct {
 }
 
 // tick advances the chunk counter and reports whether to sample this chunk.
+//
+//inkfuse:hotpath
 func (p *Profile) tick() bool {
 	p.Chunks++
 	if p.Chunks%int64(p.Every) != 0 {
@@ -328,6 +330,8 @@ func NewRun(reg *Registry, source []*core.IU, ops []core.SubOp, emit []*core.IU)
 // the source IUs (base-table column slices or hash-table row vectors); out
 // receives the emitted columns (may be nil for pure sinks). Returns emitted
 // rows.
+//
+//inkfuse:hotpath
 func (r *Run) RunChunk(ctx *vm.Ctx, srcVecs []*storage.Vector, n int, out *storage.Chunk) int {
 	// The profiler off-path is this single nil check; an enabled profiler
 	// adds a counter/modulo between samples.
@@ -351,6 +355,8 @@ func (r *Run) RunChunk(ctx *vm.Ctx, srcVecs []*storage.Vector, n int, out *stora
 
 // runSteps pushes the chunk through the scan and suboperator primitives —
 // the untimed hot path.
+//
+//inkfuse:hotpath
 func (r *Run) runSteps(ctx *vm.Ctx, srcVecs []*storage.Vector, n int) {
 	// Materialize the source into the first tuple buffer via the generated
 	// scan primitives (paper Fig 3, step 1).
@@ -380,6 +386,8 @@ func (r *Run) runSteps(ctx *vm.Ctx, srcVecs []*storage.Vector, n int) {
 
 // runStepsProfiled is runSteps with per-primitive timing, attributing
 // nanoseconds and input tuples to each suboperator's sample slot.
+//
+//inkfuse:hotpath
 func (r *Run) runStepsProfiled(ctx *vm.Ctx, srcVecs []*storage.Vector, n int) {
 	p := r.prof
 	for i, co := range r.scan {

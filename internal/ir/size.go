@@ -17,6 +17,9 @@ func sizeStmts(list []Stmt) int {
 	return n
 }
 
+// sizeStmt weighs one IR statement for the compile-latency model.
+//
+//inklint:dispatch ir.Stmt
 func sizeStmt(s Stmt) int {
 	switch s := s.(type) {
 	case Assign:
@@ -56,6 +59,9 @@ func sizeStmt(s Stmt) int {
 	}
 }
 
+// sizeExpr weighs one IR expression for the compile-latency model.
+//
+//inklint:dispatch ir.Expr
 func sizeExpr(e Expr) int {
 	switch e := e.(type) {
 	case VarRef, ConstRef:

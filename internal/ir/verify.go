@@ -69,6 +69,9 @@ func (v *verifier) stmts(list []Stmt) error {
 	return nil
 }
 
+// stmt structurally checks one IR statement.
+//
+//inklint:dispatch ir.Stmt
 func (v *verifier) stmt(s Stmt) error {
 	switch s := s.(type) {
 	case Assign:
@@ -218,6 +221,9 @@ func (v *verifier) stmt(s Stmt) error {
 	}
 }
 
+// expr structurally checks one IR expression.
+//
+//inklint:dispatch ir.Expr
 func (v *verifier) expr(e Expr) error {
 	switch e := e.(type) {
 	case VarRef:

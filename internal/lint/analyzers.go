@@ -1,0 +1,30 @@
+package lint
+
+// Analyzers returns the full inklint suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		HotpathAnalyzer,
+		BackendCompleteAnalyzer,
+		TypedErrAnalyzer,
+		LockScopeAnalyzer,
+	}
+}
+
+// ByName returns the named analyzers, or nil if any name is unknown.
+func ByName(names []string) []*Analyzer {
+	all := Analyzers()
+	var out []*Analyzer
+	for _, name := range names {
+		found := false
+		for _, a := range all {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+			}
+		}
+		if !found {
+			return nil
+		}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// BackendCompleteAnalyzer mechanizes the enumeration invariant (paper §III):
+// every suboperator / IR node must be handled by every backend.
+//
+// Two obligations, declared as function annotations:
+//
+//	//inklint:dispatch pkg.Iface   — the function must contain a type switch
+//	   over pkg.Iface whose cases cover every concrete implementor of the
+//	   interface in the module (T or *T both count).
+//	//inklint:enumerate pkg.Iface  — the function must construct (via a
+//	   composite literal) every concrete implementor, so prototype
+//	   enumeration cannot silently skip a suboperator.
+//
+// A type exempt from an enumerate obligation (e.g. a suboperator that is
+// always fused away and has no standalone primitive) carries
+// //inklint:allow enumerate — <reason> on its declaration; the missing-type
+// diagnostic is reported at the type declaration so the waiver attaches
+// there. Dispatch misses are reported at the type switch itself.
+var BackendCompleteAnalyzer = &Analyzer{
+	Name: "backendcomplete",
+	Doc:  "verifies annotated dispatch switches and enumerations cover every implementor",
+	Run:  runBackendComplete,
+}
+
+func runBackendComplete(pass *Pass) {
+	for _, note := range pass.Prog.notes.dispatch {
+		if !note.Pkg.Target {
+			continue
+		}
+		checkDispatch(pass, note)
+	}
+	for _, note := range pass.Prog.notes.enumerate {
+		if !note.Pkg.Target {
+			continue
+		}
+		checkEnumerate(pass, note)
+	}
+}
+
+// implementors returns every concrete named type in the program that
+// implements iface (directly or via pointer receiver), sorted by name.
+func implementors(prog *Program, iface *types.Interface) []*types.TypeName {
+	var out []*types.TypeName
+	for _, pkg := range prog.Packages {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			t := tn.Type()
+			if types.IsInterface(t.Underlying()) {
+				continue
+			}
+			if types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface) {
+				out = append(out, tn)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+func checkDispatch(pass *Pass, note ifaceNote) {
+	iface, ifaceObj := pass.Prog.resolveIface(note.Iface)
+	if iface == nil {
+		pass.Reportf(note.Decl.Pos(), "dispatch", "cannot resolve interface %q in loaded packages", note.Iface)
+		return
+	}
+	impls := implementors(pass.Prog, iface)
+
+	covered := map[types.Object]bool{}
+	var switchPos ast.Node
+	ast.Inspect(note.Decl, func(n ast.Node) bool {
+		ts, ok := n.(*ast.TypeSwitchStmt)
+		if !ok {
+			return true
+		}
+		// Only switches whose tag has the annotated interface type count.
+		var tag ast.Expr
+		switch assign := ts.Assign.(type) {
+		case *ast.AssignStmt:
+			tag = assign.Rhs[0]
+		case *ast.ExprStmt:
+			tag = assign.X
+		}
+		ta, ok := ast.Unparen(tag).(*ast.TypeAssertExpr)
+		if !ok {
+			return true
+		}
+		tagType := note.Pkg.Info.TypeOf(ta.X)
+		if tagType == nil || !types.Identical(tagType.Underlying(), iface) {
+			return true
+		}
+		if switchPos == nil {
+			switchPos = ts
+		}
+		for _, clause := range ts.Body.List {
+			cc := clause.(*ast.CaseClause)
+			for _, expr := range cc.List {
+				t := note.Pkg.Info.TypeOf(expr)
+				if t == nil {
+					continue
+				}
+				if p, ok := t.(*types.Pointer); ok {
+					t = p.Elem()
+				}
+				if named, ok := t.(*types.Named); ok {
+					covered[named.Obj()] = true
+				}
+			}
+		}
+		return true
+	})
+
+	if switchPos == nil {
+		pass.Reportf(note.Decl.Pos(), "dispatch",
+			"%s is annotated //inklint:dispatch %s but contains no type switch over it",
+			note.Decl.Name.Name, note.Iface)
+		return
+	}
+	for _, tn := range impls {
+		if covered[tn] || tn == ifaceObj {
+			continue
+		}
+		pass.Reportf(switchPos.Pos(), "dispatch",
+			"type switch in %s does not handle %s.%s (implements %s)",
+			note.Decl.Name.Name, pathBase(tn.Pkg().Path()), tn.Name(), note.Iface)
+	}
+}
+
+func checkEnumerate(pass *Pass, note ifaceNote) {
+	iface, ifaceObj := pass.Prog.resolveIface(note.Iface)
+	if iface == nil {
+		pass.Reportf(note.Decl.Pos(), "enumerate", "cannot resolve interface %q in loaded packages", note.Iface)
+		return
+	}
+	impls := implementors(pass.Prog, iface)
+
+	constructed := map[types.Object]bool{}
+	ast.Inspect(note.Decl, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		t := note.Pkg.Info.TypeOf(cl)
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			constructed[named.Obj()] = true
+		}
+		return true
+	})
+
+	for _, tn := range impls {
+		if constructed[tn] || tn == ifaceObj {
+			continue
+		}
+		// Report at the type declaration so an //inklint:allow enumerate
+		// waiver can sit on the type it exempts.
+		pass.Reportf(tn.Pos(), "enumerate",
+			"%s implements %s but is never constructed in %s (//inklint:enumerate)",
+			tn.Name(), note.Iface, note.Decl.Name.Name)
+	}
+}

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestDispatchDifferential deletes the ir.Copy case from the VM compiler's
+// statement dispatch in an overlay (the file on disk is untouched) and
+// asserts backendcomplete reports exactly that gap. This is the end-to-end
+// guarantee the analyzer exists for: adding an IR node and forgetting one
+// backend is caught mechanically.
+func TestDispatchDifferential(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmtPath := filepath.Join(root, "internal", "vm", "stmt.go")
+	src, err := os.ReadFile(stmtPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cut the `case ir.Copy:` block: from its case keyword to the next case.
+	text := string(src)
+	start := strings.Index(text, "\tcase ir.Copy:")
+	if start < 0 {
+		t.Fatal("internal/vm/stmt.go has no `case ir.Copy:` block to delete")
+	}
+	next := strings.Index(text[start+1:], "\tcase ")
+	if next < 0 {
+		t.Fatal("no case after ir.Copy")
+	}
+	mutated := text[:start] + text[start+1+next:]
+
+	load := func(overlay map[string][]byte) []Diagnostic {
+		t.Helper()
+		prog, err := Load(LoadConfig{
+			Dir:      root,
+			Patterns: []string{"./internal/vm", "./internal/ir"},
+			Overlay:  overlay,
+		})
+		if err != nil {
+			t.Fatalf("load: %v", err)
+		}
+		return RunAnalyzers(prog, []*Analyzer{BackendCompleteAnalyzer})
+	}
+
+	// The pristine tree is clean on these packages.
+	if diags := load(nil); len(diags) > 0 {
+		t.Fatalf("pristine vm/ir not clean: %v", diags)
+	}
+
+	diags := load(map[string][]byte{stmtPath: []byte(mutated)})
+	if len(diags) == 0 {
+		t.Fatal("deleting the ir.Copy dispatch case produced no diagnostic")
+	}
+	found := false
+	for _, d := range diags {
+		if !strings.HasSuffix(d.Pos.Filename, "stmt.go") || d.Pos.Line == 0 {
+			t.Errorf("diagnostic lacks a stmt.go file:line position: %+v", d)
+		}
+		if strings.Contains(d.Message, "ir.Copy") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no diagnostic names the deleted ir.Copy case: %v", diags)
+	}
+}

@@ -1,0 +1,271 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding, positioned for file:line reporting.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	// Category groups findings for waiver matching (e.g. "alloc", "call",
+	// "map", "box", "error", "dispatch", "enumerate", "lockscope").
+	Category string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s(%s): %s",
+		d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Category, d.Message)
+}
+
+// Analyzer is one invariant checker over a loaded Program.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one analyzer's run over a program.
+type Pass struct {
+	Prog     *Program
+	Analyzer *Analyzer
+	diags    []Diagnostic
+}
+
+// Reportf records a finding at pos under the given waiver category.
+func (p *Pass) Reportf(pos token.Pos, category, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Prog.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Category: category,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunAnalyzers runs each analyzer, drops findings covered by an
+// //inklint:allow waiver on the same or preceding line, and returns the rest
+// sorted by position.
+func RunAnalyzers(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{Prog: prog, Analyzer: a}
+		a.Run(pass)
+		for _, d := range pass.diags {
+			if prog.notes.waived(d) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// The annotation vocabulary. Directives must start the comment line exactly;
+// see DESIGN.md §12.
+const (
+	dirHotpath       = "//inkfuse:hotpath"
+	dirAllow         = "//inklint:allow"
+	dirDispatch      = "//inklint:dispatch"
+	dirEnumerate     = "//inklint:enumerate"
+	dirErrorBoundary = "//inklint:errorboundary"
+	dirLockScope     = "//inklint:lockscope"
+)
+
+// ifaceNote records a dispatch/enumerate obligation: the annotated function
+// must cover every implementor of the named interface.
+type ifaceNote struct {
+	Pkg  *Package
+	Decl *ast.FuncDecl
+	// Iface is the annotation argument, "pkgbase.Name" (e.g. "ir.Stmt").
+	Iface string
+}
+
+type waiver struct {
+	Category string
+	Reason   string
+	Pos      token.Position
+}
+
+// annotations is the scanned directive index for a program.
+type annotations struct {
+	prog *Program
+	// hot holds the *types.Func of every //inkfuse:hotpath function.
+	hot map[types.Object]bool
+	// hotDecls lists the annotated declarations per package for iteration.
+	hotDecls map[*Package][]*ast.FuncDecl
+
+	dispatch  []ifaceNote
+	enumerate []ifaceNote
+
+	// pkgDirectives holds file-level package markers ("errorboundary",
+	// "lockscope") per package.
+	pkgDirectives map[*Package]map[string]bool
+
+	// waivers maps filename → line → waiver.
+	waivers map[string]map[int]*waiver
+
+	errs []string
+}
+
+func scanAnnotations(prog *Program) *annotations {
+	n := &annotations{
+		prog:          prog,
+		hot:           map[types.Object]bool{},
+		hotDecls:      map[*Package][]*ast.FuncDecl{},
+		pkgDirectives: map[*Package]map[string]bool{},
+		waivers:       map[string]map[int]*waiver{},
+	}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					n.scanComment(pkg, c)
+				}
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				for _, c := range fd.Doc.List {
+					n.scanFuncDirective(pkg, fd, c)
+				}
+			}
+		}
+	}
+	return n
+}
+
+func (n *annotations) scanComment(pkg *Package, c *ast.Comment) {
+	text := strings.TrimSpace(c.Text)
+	switch {
+	case text == dirErrorBoundary:
+		n.markPkg(pkg, "errorboundary")
+	case text == dirLockScope:
+		n.markPkg(pkg, "lockscope")
+	case strings.HasPrefix(text, dirAllow):
+		pos := n.prog.Fset.Position(c.Pos())
+		rest := strings.TrimSpace(strings.TrimPrefix(text, dirAllow))
+		category, reason, _ := strings.Cut(rest, " ")
+		reason = strings.TrimSpace(strings.TrimLeft(strings.TrimSpace(reason), "—-"))
+		if category == "" || reason == "" {
+			n.errs = append(n.errs, fmt.Sprintf(
+				"%s:%d: malformed %s: want %q", pos.Filename, pos.Line, dirAllow,
+				dirAllow+" <category> — <reason>"))
+			return
+		}
+		if n.waivers[pos.Filename] == nil {
+			n.waivers[pos.Filename] = map[int]*waiver{}
+		}
+		n.waivers[pos.Filename][pos.Line] = &waiver{Category: category, Reason: reason, Pos: pos}
+	}
+}
+
+func (n *annotations) scanFuncDirective(pkg *Package, fd *ast.FuncDecl, c *ast.Comment) {
+	text := strings.TrimSpace(c.Text)
+	switch {
+	case text == dirHotpath:
+		if obj := pkg.Info.Defs[fd.Name]; obj != nil {
+			n.hot[obj] = true
+		}
+		n.hotDecls[pkg] = append(n.hotDecls[pkg], fd)
+	case strings.HasPrefix(text, dirDispatch+" "):
+		n.dispatch = append(n.dispatch, ifaceNote{
+			Pkg: pkg, Decl: fd, Iface: strings.TrimSpace(strings.TrimPrefix(text, dirDispatch)),
+		})
+	case strings.HasPrefix(text, dirEnumerate+" "):
+		n.enumerate = append(n.enumerate, ifaceNote{
+			Pkg: pkg, Decl: fd, Iface: strings.TrimSpace(strings.TrimPrefix(text, dirEnumerate)),
+		})
+	}
+}
+
+func (n *annotations) markPkg(pkg *Package, directive string) {
+	if n.pkgDirectives[pkg] == nil {
+		n.pkgDirectives[pkg] = map[string]bool{}
+	}
+	n.pkgDirectives[pkg][directive] = true
+}
+
+func (n *annotations) validate() error {
+	if len(n.errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("lint: %s", strings.Join(n.errs, "\n"))
+}
+
+// waived reports whether an //inklint:allow with the diagnostic's category
+// sits on the same line or the line above it (doc-comment position).
+func (n *annotations) waived(d Diagnostic) bool {
+	lines := n.waivers[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		if w := lines[line]; w != nil && (w.Category == d.Category || w.Category == "all") {
+			return true
+		}
+	}
+	return false
+}
+
+// IsHot reports whether obj is an //inkfuse:hotpath-annotated function.
+func (p *Program) IsHot(obj types.Object) bool { return p.notes.hot[obj] }
+
+// HotDecls returns the hotpath-annotated declarations of pkg.
+func (p *Program) HotDecls(pkg *Package) []*ast.FuncDecl { return p.notes.hotDecls[pkg] }
+
+// HasDirective reports whether any file of pkg carries the given package
+// directive ("errorboundary", "lockscope").
+func (p *Program) HasDirective(pkg *Package, directive string) bool {
+	return p.notes.pkgDirectives[pkg][directive]
+}
+
+// resolveIface resolves an annotation argument "pkgbase.Name" against the
+// loaded packages: the package whose import-path basename matches, looked up
+// by name. Returns nil if unresolved.
+func (p *Program) resolveIface(arg string) (*types.Interface, *types.TypeName) {
+	base, name, ok := strings.Cut(arg, ".")
+	if !ok {
+		return nil, nil
+	}
+	for _, pkg := range p.Packages {
+		if pathBase(pkg.Path) != base {
+			continue
+		}
+		obj, ok := pkg.Types.Scope().Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+			return iface, obj
+		}
+	}
+	return nil, nil
+}
+
+func pathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

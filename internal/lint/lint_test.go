@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRx extracts the quoted substrings of a `// want "..." "..."` comment.
+var wantRx = regexp.MustCompile(`// want((?: "[^"]*")+)`)
+
+// expectations scans a fixture module for // want comments and returns them
+// keyed by "relpath:line".
+func expectations(t *testing.T, dir string) map[string][]string {
+	t.Helper()
+	out := map[string][]string{}
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(dir, path)
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRx.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			key := fmt.Sprintf("%s:%d", rel, i+1)
+			for _, q := range regexp.MustCompile(`"[^"]*"`).FindAllString(m[1], -1) {
+				out[key] = append(out[key], strings.Trim(q, `"`))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// checkFixture loads one testdata module, runs every analyzer, and compares
+// the diagnostics against the fixture's // want comments: each diagnostic
+// must be expected at its line, and each expectation must fire.
+func checkFixture(t *testing.T, name string) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Load(LoadConfig{Dir: dir})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags := RunAnalyzers(prog, Analyzers())
+
+	want := expectations(t, dir)
+	matched := map[string]int{}
+	for _, d := range diags {
+		rel, err := filepath.Rel(dir, d.Pos.Filename)
+		if err != nil {
+			rel = d.Pos.Filename
+		}
+		key := fmt.Sprintf("%s:%d", rel, d.Pos.Line)
+		hit := false
+		for _, substr := range want[key] {
+			if strings.Contains(d.Message, substr) {
+				hit = true
+				matched[key]++
+			}
+		}
+		if !hit {
+			t.Errorf("unexpected diagnostic at %s: %s(%s): %s", key, d.Analyzer, d.Category, d.Message)
+		}
+	}
+	for key, substrs := range want {
+		if matched[key] < len(substrs) {
+			t.Errorf("expected diagnostics at %s (%q) did not all fire (%d/%d)",
+				key, substrs, matched[key], len(substrs))
+		}
+	}
+}
+
+func TestFixtureHotpath(t *testing.T)   { checkFixture(t, "hotpath") }
+func TestFixtureBackend(t *testing.T)   { checkFixture(t, "backend") }
+func TestFixtureTypedErr(t *testing.T)  { checkFixture(t, "typederr") }
+func TestFixtureLockScope(t *testing.T) { checkFixture(t, "lockscope") }

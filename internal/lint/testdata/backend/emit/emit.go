@@ -1,0 +1,36 @@
+// Package emit is the backendcomplete fixture backend: its dispatch switch
+// and enumeration both miss ir.Halt.
+package emit
+
+import "backendfix/ir"
+
+// emit lowers one statement.
+//
+//inklint:dispatch ir.Stmt
+func emit(s ir.Stmt) int {
+	switch s := s.(type) { // want "Halt"
+	case *ir.Assign:
+		return s.Dst
+	case ir.Loop:
+		return len(s.Body)
+	case ir.Ret:
+		return 0
+	default:
+		return -1
+	}
+}
+
+// allStmts enumerates one instance of every statement, for the
+// generate-everything interpreter build.
+//
+//inklint:enumerate ir.Stmt
+func allStmts() []ir.Stmt {
+	return []ir.Stmt{
+		ir.Assign{},
+		ir.Loop{},
+		ir.Ret{},
+	}
+}
+
+var _ = emit
+var _ = allStmts

@@ -1,0 +1,3 @@
+module backendfix
+
+go 1.21

@@ -1,0 +1,23 @@
+// Package ir is the backendcomplete fixture: a mini statement interface with
+// four implementors.
+package ir
+
+// Stmt is the dispatch interface; every backend must handle all of it.
+type Stmt interface{ stmt() }
+
+type Assign struct{ Dst, Src int }
+
+func (Assign) stmt() {}
+
+type Loop struct{ Body []Stmt }
+
+func (Loop) stmt() {}
+
+type Ret struct{}
+
+func (Ret) stmt() {}
+
+// Halt is handled by neither backend function below.
+type Halt struct{} // want "Halt"
+
+func (Halt) stmt() {}

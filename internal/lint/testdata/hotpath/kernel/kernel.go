@@ -1,0 +1,75 @@
+// Package kernel is the hotpath analyzer fixture: each function exhibits one
+// diagnostic category, with clean variants alongside.
+package kernel
+
+import (
+	"math/bits"
+	"strconv"
+)
+
+type state struct {
+	buf  []byte
+	keys map[int64]int
+}
+
+// cold is deliberately not annotated; hot code may not call it.
+func cold(n int64) int64 { return n + 1 }
+
+//inkfuse:hotpath
+func hot(n int64) int64 { return n * 3 }
+
+//inkfuse:hotpath
+func allocs(s *state, n int) {
+	s.buf = make([]byte, n)        // want "make allocates"
+	s.buf = append(s.buf, byte(n)) // want "append may grow"
+	_ = &state{}                   // want "escapes to the heap"
+	_ = []int{n}                   // want "slice literal allocates"
+}
+
+//inkfuse:hotpath
+func strings(a, b string) string {
+	c := a + b            // want "string concatenation allocates"
+	raw := []byte(c)      // want "string conversion allocates"
+	return string(raw[0]) // ok: single-byte conversion of a byte value
+}
+
+//inkfuse:hotpath
+func maps(s *state, k int64) int {
+	s.keys[k] = 1    // want "runtime map access"
+	return s.keys[k] // want "runtime map access"
+}
+
+//inkfuse:hotpath
+func boxes(n int64) any {
+	var v any = n // want "boxing int64 into"
+	return v
+}
+
+//inkfuse:hotpath
+func calls(n int64) int64 {
+	n = cold(n)                       // want "not //inkfuse:hotpath"
+	_ = strconv.Itoa(int(n))          // want "outside the hot-path stdlib allowlist"
+	return int64(bits.OnesCount64(0)) // ok: math/bits is allowlisted
+}
+
+//inkfuse:hotpath
+func closures() func() {
+	return func() {} // want "function literal allocates a closure"
+}
+
+//inkfuse:hotpath
+func waived(n int) []byte {
+	return make([]byte, n) //inklint:allow alloc — fixture: waiver suppresses the finding
+}
+
+//inkfuse:hotpath
+func clean(s *state, n int64) int64 {
+	var acc int64
+	for _, b := range s.buf {
+		acc += int64(b) * n
+	}
+	if acc < 0 {
+		panic(cold(acc)) // ok: panic arguments are cold
+	}
+	return acc + hot(n)
+}

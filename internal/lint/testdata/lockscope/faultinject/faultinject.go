@@ -1,0 +1,6 @@
+// Package faultinject is the fixture stand-in for the engine's fault
+// injection registry.
+package faultinject
+
+// Delay blocks at a named fault point when a fault is armed.
+func Delay(name string) {}

@@ -1,0 +1,46 @@
+// Package guard is the lockscope fixture: shard-style critical sections that
+// span fault points, channel operations, and callbacks.
+//
+//inklint:lockscope
+package guard
+
+import (
+	"sync"
+
+	"lockfix/faultinject"
+)
+
+type shard struct {
+	mu   sync.Mutex
+	n    int
+	wake chan int
+}
+
+func (s *shard) faulty() {
+	s.mu.Lock()
+	faultinject.Delay("guard/faulty") // want "faultinject.Delay while holding s.mu"
+	s.n++
+	s.mu.Unlock()
+	faultinject.Delay("guard/after") // ok: lock released
+}
+
+func (s *shard) chatty() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wake <- s.n // want "channel send while holding s.mu"
+	go s.faulty() // want "goroutine spawn while holding s.mu"
+}
+
+func (s *shard) callback(f func()) {
+	s.mu.Lock()
+	f() // want "indirect call through a function value while holding s.mu"
+	s.mu.Unlock()
+	f() // ok: lock released
+}
+
+func (s *shard) clean() int {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	return n
+}

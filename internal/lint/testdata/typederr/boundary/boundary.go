@@ -1,0 +1,37 @@
+// Package boundary is the typederr fixture: an error-boundary package whose
+// error values must be typed sentinels wrapped with %w.
+//
+//inklint:errorboundary
+package boundary
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is a well-named package sentinel.
+var ErrBad = errors.New("boundary: bad input")
+
+// brokenPipe violates the sentinel naming convention.
+var brokenPipe = errors.New("boundary: broken pipe") // want "sentinel"
+
+func typed(n int) error {
+	return fmt.Errorf("%w: value %d", ErrBad, n) // ok: wraps a sentinel
+}
+
+func untypedNew() error {
+	return errors.New("boundary: ad-hoc failure") // want "errors.New"
+}
+
+func untypedErrorf(n int) error {
+	return fmt.Errorf("boundary: ad-hoc failure %d", n) // want "%w"
+}
+
+func dynamicFormat(f string) error {
+	return fmt.Errorf(f, 1) // want "non-constant format"
+}
+
+var _ = typed
+var _ = untypedNew
+var _ = untypedErrorf
+var _ = dynamicFormat

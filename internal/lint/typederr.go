@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// TypedErrAnalyzer enforces the error contract of the serving boundary: in
+// packages marked //inklint:errorboundary (exec, serve, sched), every
+// constructed error must be classifiable by errors.Is — a package-level
+// sentinel (var ErrX = errors.New), a typed error struct, or an error that
+// wraps one via %w. Otherwise serve's status mapping silently falls through
+// to 500/internal.
+//
+// Flagged, all under category "error":
+//   - errors.New inside a function body (un-matchable: allocates a fresh
+//     identity per call)
+//   - fmt.Errorf whose format string contains no %w verb
+//   - fmt.Errorf with a non-constant format string (unverifiable)
+//   - package-level errors.New sentinels not named Err*/err* (undiscoverable)
+var TypedErrAnalyzer = &Analyzer{
+	Name: "typederr",
+	Doc:  "errors crossing the exec/serve/sched boundary must be typed or wrap a sentinel",
+	Run:  runTypedErr,
+}
+
+func runTypedErr(pass *Pass) {
+	for _, pkg := range pass.Prog.Packages {
+		if !pkg.Target || !pass.Prog.HasDirective(pkg, "errorboundary") {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if d.Body != nil {
+						checkErrBody(pass, pkg, d.Body)
+					}
+				case *ast.GenDecl:
+					if d.Tok == token.VAR {
+						checkSentinelNames(pass, pkg, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func checkErrBody(pass *Pass, pkg *Package, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch callPath(pkg, call) {
+		case "errors.New":
+			pass.Reportf(call.Pos(), "error",
+				"errors.New inside a function creates an unclassifiable error; use a package-level sentinel or wrap one with %%w")
+		case "fmt.Errorf":
+			checkErrorf(pass, call)
+		}
+		return true
+	})
+}
+
+func checkErrorf(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		pass.Reportf(call.Pos(), "error",
+			"fmt.Errorf with a non-constant format string cannot be verified to wrap a sentinel")
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	if !strings.Contains(format, "%w") {
+		pass.Reportf(call.Pos(), "error",
+			"fmt.Errorf without %%w constructs an untyped error; wrap a sentinel so errors.Is can classify it")
+	}
+}
+
+// checkSentinelNames enforces Err*/err* naming for package-level errors.New /
+// fmt.Errorf values so boundary sentinels stay discoverable.
+func checkSentinelNames(pass *Pass, pkg *Package, d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, v := range vs.Values {
+			call, ok := ast.Unparen(v).(*ast.CallExpr)
+			if !ok || i >= len(vs.Names) {
+				continue
+			}
+			p := callPath(pkg, call)
+			if p != "errors.New" && p != "fmt.Errorf" {
+				continue
+			}
+			name := vs.Names[i].Name
+			if !strings.HasPrefix(name, "Err") && !strings.HasPrefix(name, "err") {
+				pass.Reportf(vs.Names[i].Pos(), "error",
+					"package-level error %s should be named Err* (or err*) to read as a sentinel", name)
+			}
+		}
+	}
+}
+
+// callPath returns "pkgbase.Func" for a direct qualified call, or "".
+func callPath(pkg *Package, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj := calleeObject(pkg.Info, sel)
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return pathBase(obj.Pkg().Path()) + "." + obj.Name()
+}

@@ -61,6 +61,8 @@ func NewAggTable(payloadInit []byte, shardCount int) *AggTable {
 
 // FindOrCreate returns the packed row for the key, creating and initializing
 // it if absent. Safe for concurrent use.
+//
+//inkfuse:hotpath
 func (t *AggTable) FindOrCreate(key []byte, h uint64) []byte {
 	return t.FindOrCreateSeed(key, h, nil)
 }
@@ -70,6 +72,8 @@ func (t *AggTable) FindOrCreate(key []byte, h uint64) []byte {
 // collation support of paper §IV-D uses this to keep the original
 // (non-normalized) key string in the group payload while the key blob holds
 // the equivalence-class representative.
+//
+//inkfuse:hotpath
 func (t *AggTable) FindOrCreateSeed(key []byte, h uint64, seed []byte) []byte {
 	s := &t.shards[(h>>56)&t.shardMask]
 	s.mu.Lock()
@@ -93,6 +97,7 @@ func (t *AggTable) SetBudget(b *MemBudget) {
 	}
 }
 
+//inkfuse:hotpath
 func (s *aggShard) findOrCreate(key []byte, h uint64, init, seed []byte) []byte {
 	for i := h & s.mask; ; i = (i + 1) & s.mask {
 		b := s.buckets[i]
@@ -103,11 +108,11 @@ func (s *aggShard) findOrCreate(key []byte, h uint64, init, seed []byte) []byte 
 			copy(row[4:], key)
 			copy(row[4+len(key):], init)
 			copy(row[4+len(key)+len(init):], seed)
-			s.hashes = append(s.hashes, h)
-			s.rows = append(s.rows, row)
+			s.hashes = append(s.hashes, h)    //inklint:allow alloc — amortized — entry arrays double; O(1) amortized per new group
+			s.rows = append(s.rows, row)      //inklint:allow alloc — amortized — entry arrays double; O(1) amortized per new group
 			s.buckets[i] = int32(len(s.rows)) // index+1
 			if uint64(len(s.rows))*4 > 3*(s.mask+1) {
-				s.grow()
+				s.grow() //inklint:allow call — amortized bucket-array resize (doubling); intentionally cold
 			}
 			return row
 		}

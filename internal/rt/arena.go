@@ -28,15 +28,17 @@ func (a *Arena) SetBudget(b *MemBudget) { a.budget = b }
 
 // Alloc returns a zeroed slice of n bytes. Requests larger than the block
 // size get their own block.
+//
+//inkfuse:hotpath
 func (a *Arena) Alloc(n int) []byte {
 	a.used += int64(n)
 	if n > a.blockSize {
 		a.budget.Charge(int64(n))
-		return make([]byte, n)
+		return make([]byte, n) //inklint:allow alloc — oversized request falls back to a dedicated block
 	}
 	if len(a.block) < n {
 		a.budget.Charge(int64(a.blockSize))
-		a.block = make([]byte, a.blockSize)
+		a.block = make([]byte, a.blockSize) //inklint:allow alloc — arena block refill — one make per blockSize bytes of rows
 	}
 	out := a.block[:n:n]
 	a.block = a.block[n:]

@@ -25,16 +25,20 @@ type BatchScratch struct {
 
 // shardOf mirrors the scalar entry points' shard dispatch: the top hash byte
 // selects the shard so the low bits stay free for bucket addressing.
+//
+//inkfuse:hotpath
 func shardOf(h, mask uint64) uint64 { return (h >> 56) & mask }
 
 // groupByShard buckets the chunk's row indices by shard. Rows of shard s are
 // order[starts[s]:starts[s+1]], in their original chunk order (the counting
 // sort is stable), which keeps batched table contents identical to scalar.
+//
+//inkfuse:hotpath
 func (sc *BatchScratch) groupByShard(hashes []uint64, shardMask uint64) (starts, order []int32) {
 	shards := int(shardMask) + 1
 	if cap(sc.starts) < shards+1 {
-		sc.starts = make([]int32, shards+1)
-		sc.fill = make([]int32, shards+1)
+		sc.starts = make([]int32, shards+1) //inklint:allow alloc — scratch sized to shard count on first batch, reused after
+		sc.fill = make([]int32, shards+1)   //inklint:allow alloc — scratch sized to shard count on first batch, reused after
 	}
 	starts = sc.starts[:shards+1]
 	for i := range starts {
@@ -49,7 +53,7 @@ func (sc *BatchScratch) groupByShard(hashes []uint64, shardMask uint64) (starts,
 	fill := sc.fill[:shards+1]
 	copy(fill, starts)
 	if cap(sc.order) < len(hashes) {
-		sc.order = make([]int32, len(hashes))
+		sc.order = make([]int32, len(hashes)) //inklint:allow alloc — scratch grows to max batch rows once, reused after
 	}
 	order = sc.order[:len(hashes)]
 	for i, h := range hashes {
@@ -63,9 +67,11 @@ func (sc *BatchScratch) groupByShard(hashes []uint64, shardMask uint64) (starts,
 // HashBatch hashes a whole vector of key blobs into dst (resized as needed)
 // — the hashing stage of the batched kernels, kept separate so callers that
 // also consult thread-local tables or bloom filters hash each key once.
+//
+//inkfuse:hotpath
 func HashBatch(keys [][]byte, dst []uint64) []uint64 {
 	if cap(dst) < len(keys) {
-		dst = make([]uint64, len(keys))
+		dst = make([]uint64, len(keys)) //inklint:allow alloc — hash buffer grows to chunk size once; caller reuses it
 	}
 	dst = dst[:len(keys)]
 	for i, k := range keys {
@@ -80,6 +86,8 @@ func HashBatch(keys [][]byte, dst []uint64) []uint64 {
 // packed group row for keys[i]. Each shard's lock is taken once per
 // (chunk, shard), and the shard's bucket array is pre-sized for the whole
 // batch so a resize never stalls co-locked rows mid-batch.
+//
+//inkfuse:hotpath
 func (t *AggTable) FindOrCreateBatch(keys, seeds [][]byte, hashes []uint64, dst [][]byte, sc *BatchScratch) {
 	starts, order := sc.groupByShard(hashes, t.shardMask)
 	for si := range t.shards {
@@ -91,12 +99,13 @@ func (t *AggTable) FindOrCreateBatch(keys, seeds [][]byte, hashes []uint64, dst 
 	}
 }
 
+//inkfuse:hotpath
 func (s *aggShard) findOrCreateBatch(idxs []int32, keys, seeds [][]byte, hashes []uint64, dst [][]byte, init []byte) {
 	s.mu.Lock()
 	// Deferred for the same reason as the scalar path: a memory-budget panic
 	// out of the arena must not strand the shard lock mid-drain.
 	defer s.mu.Unlock()
-	s.reserve(len(idxs))
+	s.reserve(len(idxs)) //inklint:allow call — amortized pre-size so buckets never resize mid-batch under the lock
 	var seed []byte
 	for _, i := range idxs {
 		if seeds != nil {
@@ -110,6 +119,8 @@ func (s *aggShard) findOrCreateBatch(idxs []int32, keys, seeds [][]byte, hashes 
 // Hash64(keys[i]), payloads may contain nil entries. One lock acquire per
 // (chunk, shard); within a shard rows keep their chunk order, so the sealed
 // probe layout is identical to a scalar build's.
+//
+//inkfuse:hotpath
 func (t *JoinTable) InsertBatch(keys, payloads [][]byte, hashes []uint64, sc *BatchScratch) {
 	starts, order := sc.groupByShard(hashes, t.shardMask)
 	for si := range t.shards {
@@ -121,6 +132,7 @@ func (t *JoinTable) InsertBatch(keys, payloads [][]byte, hashes []uint64, sc *Ba
 	}
 }
 
+//inkfuse:hotpath
 func (s *joinShard) insertBatch(idxs []int32, keys, payloads [][]byte, hashes []uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -131,8 +143,8 @@ func (s *joinShard) insertBatch(idxs []int32, keys, payloads [][]byte, hashes []
 		binary.LittleEndian.PutUint32(row, uint32(len(key)))
 		copy(row[4:], key)
 		copy(row[4+len(key):], payload)
-		s.rows = append(s.rows, row)
-		s.hashes = append(s.hashes, hashes[i])
+		s.rows = append(s.rows, row)           //inklint:allow alloc — amortized — shard entry arrays double
+		s.hashes = append(s.hashes, hashes[i]) //inklint:allow alloc — amortized — shard entry arrays double
 	}
 }
 
@@ -140,12 +152,14 @@ func (s *joinShard) insertBatch(idxs []int32, keys, payloads [][]byte, hashes []
 // bloom/tag filter (built at Seal), appending the indices that *may* match to
 // sel and returning it plus the number of definite misses that never touched
 // bucket memory. The table must be sealed.
+//
+//inkfuse:hotpath
 func (t *JoinTable) LookupBatch(hashes []uint64, sel []int32) ([]int32, int) {
 	f, m := t.filter, t.fmask
 	skips := 0
 	for i, h := range hashes {
 		if f[(h>>16)&m]&bloomTag(h) != 0 {
-			sel = append(sel, int32(i))
+			sel = append(sel, int32(i)) //inklint:allow alloc — sel grows to chunk size once; caller reuses the buffer
 		} else {
 			skips++
 		}

@@ -29,6 +29,8 @@ func NewMemBudget(limit int64) *MemBudget {
 
 // Charge accounts n bytes against the budget, panicking with *BudgetExceeded
 // once the cap is crossed. Nil receivers and non-positive charges are no-ops.
+//
+//inkfuse:hotpath
 func (b *MemBudget) Charge(n int64) {
 	if b == nil || n <= 0 {
 		return

@@ -14,6 +14,8 @@ import "encoding/binary"
 // Hash64 hashes a key blob. It is a small wyhash-style mixer over 8-byte
 // words: cheap on short packed keys and with good diffusion for open
 // addressing.
+//
+//inkfuse:hotpath
 func Hash64(key []byte) uint64 {
 	const (
 		k0 = 0x9e3779b97f4a7c15
@@ -36,6 +38,7 @@ func Hash64(key []byte) uint64 {
 	return mix64(h)
 }
 
+//inkfuse:hotpath
 func mix64(x uint64) uint64 {
 	x ^= x >> 33
 	x *= 0xff51afd7ed558ccd

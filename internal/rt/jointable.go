@@ -26,6 +26,8 @@ type JoinTable struct {
 
 // bloomTag picks the in-byte tag bit from hash bits unused by shard and
 // bucket addressing.
+//
+//inkfuse:hotpath
 func bloomTag(h uint64) byte { return 1 << ((h >> 40) & 7) }
 
 type joinShard struct {
@@ -71,6 +73,8 @@ func (t *JoinTable) SetBudget(b *MemBudget) {
 
 // Insert adds a packed row (key blob + payload blob) to the table. Safe for
 // concurrent use during the build pipeline.
+//
+//inkfuse:hotpath
 func (t *JoinTable) Insert(key, payload []byte, h uint64) {
 	s := &t.shards[(h>>56)&t.shardMask]
 	s.mu.Lock()
@@ -82,8 +86,8 @@ func (t *JoinTable) Insert(key, payload []byte, h uint64) {
 	binary.LittleEndian.PutUint32(row, uint32(len(key)))
 	copy(row[4:], key)
 	copy(row[4+len(key):], payload)
-	s.rows = append(s.rows, row)
-	s.hashes = append(s.hashes, h)
+	s.rows = append(s.rows, row)   //inklint:allow alloc — amortized — shard entry arrays double
+	s.hashes = append(s.hashes, h) //inklint:allow alloc — amortized — shard entry arrays double
 }
 
 // Seal builds the probe-side bucket arrays and the build-side bloom/tag
@@ -130,6 +134,8 @@ const maxBloomBytes = 1 << 26
 
 // MayContain consults the bloom/tag filter: false means no build row can
 // match a key with this hash (no false negatives). The table must be sealed.
+//
+//inkfuse:hotpath
 func (t *JoinTable) MayContain(h uint64) bool {
 	return t.filter[(h>>16)&t.fmask]&bloomTag(h) != 0
 }
@@ -153,12 +159,16 @@ type MatchIter struct {
 }
 
 // Lookup starts a match iteration for a probe key. The table must be sealed.
+//
+//inkfuse:hotpath
 func (t *JoinTable) Lookup(key []byte, h uint64) MatchIter {
 	s := &t.shards[(h>>56)&t.shardMask]
 	return MatchIter{shard: s, at: s.buckets[h&s.mask], hash: h, key: key}
 }
 
 // Next returns the next matching build row, or nil when exhausted.
+//
+//inkfuse:hotpath
 func (it *MatchIter) Next() []byte {
 	for it.at != 0 {
 		e := it.at - 1
@@ -174,6 +184,8 @@ func (it *MatchIter) Next() []byte {
 // resolving matches. The ROF backend issues Touch over a staged chunk before
 // probing, pulling the relevant cache lines in with many independent loads
 // (the prefetch staging point of Relaxed Operator Fusion).
+//
+//inkfuse:hotpath
 func (t *JoinTable) Touch(key []byte, h uint64) byte {
 	// The filter line is the first stage: a definite miss never pulls bucket
 	// or row cache lines, so staged prefetching only streams memory that the
@@ -194,6 +206,8 @@ func (t *JoinTable) Touch(key []byte, h uint64) byte {
 }
 
 // Exists reports whether any build row matches the key (semi joins).
+//
+//inkfuse:hotpath
 func (t *JoinTable) Exists(key []byte, h uint64) bool {
 	it := t.Lookup(key, h)
 	return it.Next() != nil

@@ -84,6 +84,8 @@ func (l *LocalAggTable) Hits() int64 { return l.hits }
 // existing local group; ok=false means the table is full (or disabled) and
 // the caller must resolve the key against the backing table instead. The
 // returned row stays valid until the next Flush.
+//
+//inkfuse:hotpath
 func (l *LocalAggTable) FindOrCreate(key []byte, h uint64, seed []byte) (row []byte, hit, ok bool) {
 	if l.disabled {
 		return nil, false, false
@@ -108,8 +110,8 @@ func (l *LocalAggTable) FindOrCreate(key []byte, h uint64, seed []byte) (row []b
 			copy(r[4:], key)
 			copy(r[4+len(key):], l.st.Init)
 			copy(r[4+len(key)+len(l.st.Init):], seed)
-			l.hashes = append(l.hashes, h)
-			l.rows = append(l.rows, r)
+			l.hashes = append(l.hashes, h) //inklint:allow alloc — flat local buffers capped at maxLocalGroups, reused across morsels
+			l.rows = append(l.rows, r)     //inklint:allow alloc — flat local buffers capped at maxLocalGroups, reused across morsels
 			l.buckets[i] = int32(len(l.rows))
 			return r, false, true
 		}
@@ -126,6 +128,8 @@ func (l *LocalAggTable) FindOrCreate(key []byte, h uint64, seed []byte) (row []b
 // the current chunk become stale). Returns the number of group rows spilled.
 // After the warm-up the adaptive policy may disable the table permanently for
 // this worker/pipeline.
+//
+//inkfuse:hotpath
 func (l *LocalAggTable) Flush() int64 {
 	n := l.drain()
 	if !l.disabled && l.probes >= localAggMinProbes &&
@@ -144,6 +148,8 @@ func (l *LocalAggTable) Flush() int64 {
 // instead of waiting for a morsel boundary that a single-morsel pipeline
 // never reaches. Safe only between chunks (like Flush, draining invalidates
 // handed-out rows). Returns the number of group rows spilled.
+//
+//inkfuse:hotpath
 func (l *LocalAggTable) MaybeFlush() int64 {
 	if l.disabled || !l.overflow {
 		return 0
@@ -157,6 +163,8 @@ func (l *LocalAggTable) MaybeFlush() int64 {
 
 // drain merges every local group into the backing shard table and resets the
 // row storage, leaving the adaptive counters' interval snapshot behind.
+//
+//inkfuse:hotpath
 func (l *LocalAggTable) drain() int64 {
 	n := int64(len(l.rows))
 	if n > 0 {

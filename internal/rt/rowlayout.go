@@ -19,6 +19,8 @@ import (
 // than stored behind pointer slots as InkFuse does; see DESIGN.md §2.
 
 // PutBool writes a bool at off.
+//
+//inkfuse:hotpath
 func PutBool(b []byte, off int, v bool) {
 	if v {
 		b[off] = 1
@@ -28,48 +30,66 @@ func PutBool(b []byte, off int, v bool) {
 }
 
 // GetBool reads a bool at off.
+//
+//inkfuse:hotpath
 func GetBool(b []byte, off int) bool { return b[off] != 0 }
 
 // PutI32 writes an int32 at off.
+//
+//inkfuse:hotpath
 func PutI32(b []byte, off int, v int32) {
 	binary.LittleEndian.PutUint32(b[off:], uint32(v))
 }
 
 // GetI32 reads an int32 at off.
+//
+//inkfuse:hotpath
 func GetI32(b []byte, off int) int32 {
 	return int32(binary.LittleEndian.Uint32(b[off:]))
 }
 
 // PutI64 writes an int64 at off.
+//
+//inkfuse:hotpath
 func PutI64(b []byte, off int, v int64) {
 	binary.LittleEndian.PutUint64(b[off:], uint64(v))
 }
 
 // GetI64 reads an int64 at off.
+//
+//inkfuse:hotpath
 func GetI64(b []byte, off int) int64 {
 	return int64(binary.LittleEndian.Uint64(b[off:]))
 }
 
 // PutF64 writes a float64 at off.
+//
+//inkfuse:hotpath
 func PutF64(b []byte, off int, v float64) {
 	binary.LittleEndian.PutUint64(b[off:], math.Float64bits(v))
 }
 
 // GetF64 reads a float64 at off.
+//
+//inkfuse:hotpath
 func GetF64(b []byte, off int) float64 {
 	return math.Float64frombits(binary.LittleEndian.Uint64(b[off:]))
 }
 
 // AppendString appends a u32-length-prefixed string to buf.
+//
+//inkfuse:hotpath
 func AppendString(buf []byte, s string) []byte {
 	var l [4]byte
 	binary.LittleEndian.PutUint32(l[:], uint32(len(s)))
-	buf = append(buf, l[:]...)
-	return append(buf, s...)
+	buf = append(buf, l[:]...) //inklint:allow alloc — appends into the caller’s reused row-build buffer
+	return append(buf, s...)   //inklint:allow alloc — appends into the caller’s reused row-build buffer
 }
 
 // SkipStrings advances off past n length-prefixed strings and returns the new
 // offset.
+//
+//inkfuse:hotpath
 func SkipStrings(b []byte, off, n int) int {
 	for i := 0; i < n; i++ {
 		l := int(binary.LittleEndian.Uint32(b[off:]))
@@ -79,23 +99,31 @@ func SkipStrings(b []byte, off, n int) int {
 }
 
 // GetString reads the length-prefixed string starting at off.
+//
+//inkfuse:hotpath
 func GetString(b []byte, off int) string {
 	l := int(binary.LittleEndian.Uint32(b[off:]))
-	return string(b[off+4 : off+4+l])
+	return string(b[off+4 : off+4+l]) //inklint:allow alloc — packed rows store raw bytes; string emission must materialize
 }
 
 // RowKeyLen reads the key-blob length from a packed row header.
+//
+//inkfuse:hotpath
 func RowKeyLen(row []byte) int {
 	return int(binary.LittleEndian.Uint32(row))
 }
 
 // RowKey returns the key blob of a packed row.
+//
+//inkfuse:hotpath
 func RowKey(row []byte) []byte {
 	kl := RowKeyLen(row)
 	return row[4 : 4+kl]
 }
 
 // RowPayloadOff returns the byte offset of the payload region.
+//
+//inkfuse:hotpath
 func RowPayloadOff(row []byte) int { return 4 + RowKeyLen(row) }
 
 // Field describes one field of a packed row layout.
@@ -162,12 +190,16 @@ func (l *Layout) HasVarKey() bool { return l.KeyVarCount > 0 }
 // unpack primitives and the Volcano oracle.
 
 // PayloadStringOff returns the offset of the varIdx-th payload string of row.
+//
+//inkfuse:hotpath
 func PayloadStringOff(row []byte, payloadFixedWidth, varIdx int) int {
 	off := RowPayloadOff(row) + payloadFixedWidth
 	return SkipStrings(row, off, varIdx)
 }
 
 // KeyStringOff returns the offset of the varIdx-th key string of row.
+//
+//inkfuse:hotpath
 func KeyStringOff(row []byte, keyFixedWidth, varIdx int) int {
 	off := 4 + keyFixedWidth
 	return SkipStrings(row, off, varIdx)

@@ -118,6 +118,8 @@ func (s *AggTableState) MergeInto(dst, src *AggTable) {
 }
 
 // mergePayload folds one source group row's aggregate slots into dst's.
+//
+//inkfuse:hotpath
 func (s *AggTableState) mergePayload(drow, row []byte) {
 	dOff := RowPayloadOff(drow)
 	sOff := RowPayloadOff(row)

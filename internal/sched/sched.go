@@ -27,6 +27,12 @@
 // workers may serve it over the query's lifetime.
 package sched
 
+// sched is an error boundary: admission and dispatch failures must surface as
+// the typed sentinels below (or wrap them via %w) so exec and serve classify
+// overload precisely. Enforced by the typederr analyzer (cmd/inklint).
+//
+//inklint:errorboundary
+
 import (
 	"context"
 	"errors"

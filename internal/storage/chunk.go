@@ -28,9 +28,13 @@ func NewChunk(kinds []types.Kind) *Chunk {
 }
 
 // Rows returns the number of tuples in the chunk.
+//
+//inkfuse:hotpath
 func (c *Chunk) Rows() int { return c.rows }
 
 // SetRows resizes every column to n tuples.
+//
+//inkfuse:hotpath
 func (c *Chunk) SetRows(n int) {
 	for _, col := range c.Cols {
 		col.Resize(n)
@@ -39,6 +43,8 @@ func (c *Chunk) SetRows(n int) {
 }
 
 // Reset empties the chunk, keeping capacity.
+//
+//inkfuse:hotpath
 func (c *Chunk) Reset() { c.SetRows(0) }
 
 // Kinds returns the column kinds.
@@ -74,6 +80,8 @@ func (c *Chunk) Row(i int) []any {
 // AppendFromVectors appends the first n rows of each vector to the matching
 // column — the tuple-buffer sink operation used by compiled programs and
 // primitives. It returns the (approximate) number of bytes materialized.
+//
+//inkfuse:hotpath
 func (c *Chunk) AppendFromVectors(vs []*Vector, n int) int64 {
 	if len(vs) != len(c.Cols) {
 		panic("storage: AppendFromVectors column count mismatch")

@@ -34,6 +34,8 @@ func NewVector(kind types.Kind, n int) *Vector {
 }
 
 // Len returns the number of values in the vector.
+//
+//inkfuse:hotpath
 func (v *Vector) Len() int {
 	switch v.Kind {
 	case types.Bool:
@@ -54,6 +56,8 @@ func (v *Vector) Len() int {
 }
 
 // Resize sets the vector length to n, reusing capacity when possible.
+//
+//inkfuse:hotpath
 func (v *Vector) Resize(n int) {
 	switch v.Kind {
 	case types.Bool:
@@ -73,11 +77,12 @@ func (v *Vector) Resize(n int) {
 	}
 }
 
+//inkfuse:hotpath
 func grow[T any](s []T, n int) []T {
 	if cap(s) >= n {
 		return s[:n]
 	}
-	ns := make([]T, n, max(n, 2*cap(s)))
+	ns := make([]T, n, max(n, 2*cap(s))) //inklint:allow alloc — capacity doubling; amortized O(1) per appended row
 	copy(ns, s[:cap(s)])
 	return ns
 }
@@ -105,6 +110,8 @@ func (v *Vector) Slice(lo, hi int) *Vector {
 // SliceInto points dst at rows [lo, hi) of v, sharing the backing arrays: the
 // allocation-free Slice for hot loops that reuse a scratch header. dst must
 // not outlive v's backing arrays; only the field selected by Kind is updated.
+//
+//inkfuse:hotpath
 func (v *Vector) SliceInto(dst *Vector, lo, hi int) {
 	dst.Kind = v.Kind
 	switch v.Kind {
@@ -160,23 +167,25 @@ func (v *Vector) Gather(dst *Vector, sel []int32) {
 }
 
 // AppendFrom appends rows [lo, hi) of src to v. Kinds must match.
+//
+//inkfuse:hotpath
 func (v *Vector) AppendFrom(src *Vector, lo, hi int) {
 	if v.Kind != src.Kind {
 		panic(fmt.Sprintf("storage: append kind mismatch %v vs %v", v.Kind, src.Kind))
 	}
 	switch v.Kind {
 	case types.Bool:
-		v.B = append(v.B, src.B[lo:hi]...)
+		v.B = append(v.B, src.B[lo:hi]...) //inklint:allow alloc — append into reused column; grows to chunk capacity once
 	case types.Int32, types.Date:
-		v.I32 = append(v.I32, src.I32[lo:hi]...)
+		v.I32 = append(v.I32, src.I32[lo:hi]...) //inklint:allow alloc — append into reused column; grows to chunk capacity once
 	case types.Int64:
-		v.I64 = append(v.I64, src.I64[lo:hi]...)
+		v.I64 = append(v.I64, src.I64[lo:hi]...) //inklint:allow alloc — append into reused column; grows to chunk capacity once
 	case types.Float64:
-		v.F64 = append(v.F64, src.F64[lo:hi]...)
+		v.F64 = append(v.F64, src.F64[lo:hi]...) //inklint:allow alloc — append into reused column; grows to chunk capacity once
 	case types.String:
-		v.Str = append(v.Str, src.Str[lo:hi]...)
+		v.Str = append(v.Str, src.Str[lo:hi]...) //inklint:allow alloc — append into reused column; grows to chunk capacity once
 	case types.Ptr:
-		v.Ptr = append(v.Ptr, src.Ptr[lo:hi]...)
+		v.Ptr = append(v.Ptr, src.Ptr[lo:hi]...) //inklint:allow alloc — append into reused column; grows to chunk capacity once
 	}
 }
 

@@ -1,0 +1,30 @@
+package tpch
+
+import (
+	"testing"
+
+	"inkfuse/internal/algebra"
+	"inkfuse/internal/core"
+)
+
+// TestPlansVerify lowers every TPC-H query and runs the structural IR
+// verifier over the suboperator plan. A lowering change that breaks an IU
+// def-use chain or misplaces a pipeline breaker fails here before any
+// backend executes the plan.
+func TestPlansVerify(t *testing.T) {
+	for _, q := range append(append([]string{}, Queries...), ExtendedQueries...) {
+		t.Run(q, func(t *testing.T) {
+			node, err := Build(testCat, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan, err := algebra.Lower(node, q)
+			if err != nil {
+				t.Fatalf("lower: %v", err)
+			}
+			if err := core.VerifyPlan(plan); err != nil {
+				t.Fatalf("VerifyPlan: %v", err)
+			}
+		})
+	}
+}

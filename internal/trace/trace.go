@@ -127,12 +127,14 @@ type EWMASample struct {
 }
 
 // AddEWMA appends a sample, honouring the series cap.
+//
+//inkfuse:hotpath
 func (w *Worker) AddEWMA(s EWMASample) {
 	if len(w.EWMA) >= MaxEWMASamples {
 		w.EWMADropped++
 		return
 	}
-	w.EWMA = append(w.EWMA, s)
+	w.EWMA = append(w.EWMA, s) //inklint:allow alloc — bounded by MaxEWMASamples and only when tracing is on
 }
 
 // NewQuery starts a query trace.

@@ -116,6 +116,8 @@ func (k Kind) GoName() string {
 // Width returns the byte width of the kind inside a packed row layout.
 // Strings are variable-size and report -1; the row layout gives them
 // length-prefixed slots (see rt.RowLayout).
+//
+//inkfuse:hotpath
 func (k Kind) Width() int {
 	switch k {
 	case Bool:

@@ -240,6 +240,8 @@ func buildSelect[T any](c *compiler, blk *[]exec, x ir.CondExpr, k types.Kind,
 
 // expr compiles an expression, appending its ops to blk, and returns the
 // slot holding the dense result at the current scope cardinality.
+//
+//inklint:dispatch ir.Expr
 func (c *compiler) expr(e ir.Expr, blk *[]exec) (int, error) {
 	switch x := e.(type) {
 	case ir.VarRef:

@@ -19,6 +19,9 @@ func (c *compiler) block(stmts []ir.Stmt) ([]exec, error) {
 	return blk, nil
 }
 
+// stmt compiles one IR statement into closures appended to blk.
+//
+//inklint:dispatch ir.Stmt
 func (c *compiler) stmt(s ir.Stmt, blk *[]exec) error {
 	switch s := s.(type) {
 	case ir.Assign:

@@ -131,14 +131,15 @@ type frame struct {
 	prefetchSink byte
 }
 
+//inkfuse:hotpath
 func (c *Ctx) frame(p *Program) *frame {
-	fr, ok := c.frames[p]
+	fr, ok := c.frames[p] //inklint:allow map — per-(ctx,program) frame memo — one lookup per morsel call, not per row
 	if !ok {
-		fr = &frame{ctx: c, vecs: make([]*storage.Vector, len(p.slotKinds)), aux: make([]any, p.numAux)}
+		fr = &frame{ctx: c, vecs: make([]*storage.Vector, len(p.slotKinds)), aux: make([]any, p.numAux)} //inklint:allow alloc — first-use frame construction; memoized in c.frames thereafter
 		for i, k := range p.slotKinds {
-			fr.vecs[i] = storage.NewVector(k, 0)
+			fr.vecs[i] = storage.NewVector(k, 0) //inklint:allow call — first-use slot vector construction; memoized with the frame
 		}
-		c.frames[p] = fr
+		c.frames[p] = fr //inklint:allow map — memoization write on first use only
 	}
 	return fr
 }
@@ -146,6 +147,8 @@ func (c *Ctx) frame(p *Program) *frame {
 // Run executes the program over n source rows bound to the input vectors,
 // appending emitted rows to out (which may be nil for pure sinks). It
 // returns the number of emitted rows.
+//
+//inkfuse:hotpath
 func (p *Program) Run(ctx *Ctx, state []any, ins []*storage.Vector, n int, out *storage.Chunk) int {
 	fr := ctx.frame(p)
 	fr.state = state
@@ -161,9 +164,10 @@ func (p *Program) Run(ctx *Ctx, state []any, ins []*storage.Vector, n int, out *
 	return fr.emitted
 }
 
+//inkfuse:hotpath
 func runBlock(b []exec, fr *frame, n int) {
 	for _, op := range b {
-		op(fr, n)
+		op(fr, n) //inklint:allow call — the vm execution model — dispatch through pre-compiled closures
 	}
 }
 

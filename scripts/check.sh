@@ -13,6 +13,14 @@ fi
 
 go build ./...
 go vet ./...
+
+# inklint: the engine-invariant analyzers (hotpath allocation discipline,
+# backend dispatch/enumeration completeness, typed boundary errors, shard-lock
+# scope). Diagnostics print as file:line:col and fail the gate verbatim.
+echo "inklint..."
+go run ./cmd/inklint ./...
+echo "inklint OK"
+
 go test -race ./...
 
 # Tied-key ordering depends on parallel scheduling; hammer the determinism
