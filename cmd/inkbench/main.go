@@ -13,6 +13,9 @@
 //	    measured morsel counts, busy time, compile timing and hybrid routing
 //	inkbench -explain -trace          — additionally dump the full per-worker
 //	    execution trace (morsel-level EWMA series of the hybrid router)
+//	inkbench -sql [-backend hybrid] [-queries q1,q6] — run each query from
+//	    its SQL text through the text frontend (parse → bind → lower) and
+//	    print the plan-cache fingerprint alongside the result
 //	inkbench -metrics                 — print the engine metrics registry
 //	    after whatever else ran
 //	inkbench -json [-sf 0.1]          — machine-readable benchmark: every
@@ -49,6 +52,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-query deadline (e.g. 30s); expired queries fail with a typed error (0 = none)")
 	memBudget := flag.Int64("mem-budget", 0, "per-query runtime-state budget in bytes; exceeding it fails the query instead of OOM-ing (0 = unlimited)")
 	explain := flag.Bool("explain", false, "EXPLAIN ANALYZE mode: run each -queries query once on -backend and print the annotated plan, then exit")
+	sqlFlag := flag.Bool("sql", false, "SQL mode: run each -queries query from its SQL text through the text frontend on -backend, then exit")
 	traceFlag := flag.Bool("trace", false, "with -explain: also dump the full per-worker execution trace")
 	backend := flag.String("backend", "hybrid", "backend for -explain: vectorized | compiling | rof | hybrid")
 	metricsFlag := flag.Bool("metrics", false, "print the engine metrics registry before exiting")
@@ -103,6 +107,17 @@ func main() {
 	if *explain {
 		if err := explainQueries(cfg, *backend, *traceFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "inkbench: explain: %v\n", err)
+			os.Exit(1)
+		}
+		if *metricsFlag {
+			fmt.Print(inkfuse.MetricsText())
+		}
+		return
+	}
+
+	if *sqlFlag {
+		if err := sqlQueries(cfg, *backend); err != nil {
+			fmt.Fprintf(os.Stderr, "inkbench: sql: %v\n", err)
 			os.Exit(1)
 		}
 		if *metricsFlag {
@@ -201,6 +216,40 @@ func main() {
 		fmt.Println("# engine metrics")
 		fmt.Print(inkfuse.MetricsText())
 	}
+}
+
+// sqlQueries runs each configured query from its SQL text through the text
+// frontend — the same execution path inkserve's {"sql": ...} requests take —
+// and prints one line per query with the plan-cache fingerprint.
+func sqlQueries(cfg benchkit.Config, backendName string) error {
+	be, err := inkfuse.ParseBackend(backendName)
+	if err != nil {
+		return err
+	}
+	cat := inkfuse.GenerateTPCH(cfg.SF, 42)
+	fmt.Printf("# SQL frontend — %s backend, SF %g\n", backendName, cfg.SF)
+	for _, q := range cfg.Queries {
+		text, ok := inkfuse.TPCHSQL(q)
+		if !ok {
+			return fmt.Errorf("no SQL text for %q", q)
+		}
+		stmt, err := inkfuse.CompileSQL(cat, text)
+		if err != nil {
+			return fmt.Errorf("%s: %w", q, err)
+		}
+		res, err := inkfuse.RunSQL(cat, text, nil, inkfuse.Options{
+			Backend:      be,
+			Workers:      cfg.Workers,
+			MemoryBudget: cfg.MemBudget,
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %w", q, err)
+		}
+		fmt.Printf("%-4s  fp=%s  rows=%-6d  wall=%.2fms\n",
+			q, stmt.Fingerprint.Hex()[:12], res.Rows(),
+			float64(res.Wall.Microseconds())/1000)
+	}
+	return nil
 }
 
 // explainQueries runs each configured query once with tracing enabled and

@@ -9,6 +9,7 @@
 // Query it:
 //
 //	curl -s localhost:8080/query -d '{"query":"q6","backend":"hybrid"}'
+//	curl -s localhost:8080/query -d '{"sql":"select count(*) as n from lineitem where l_quantity < 24"}'
 //	curl -s localhost:8080/metrics
 package main
 
@@ -43,6 +44,10 @@ func main() {
 		queueDepth    = flag.Int("queue-depth", 0, "admission queue bound (0 = default 64, negative = no queue)")
 		memLimit      = flag.Int64("mem-limit", 0, "engine-wide cap on admitted queries' memory budgets in bytes (0 = unlimited)")
 		drain         = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline for in-flight queries")
+
+		planCache      = flag.Int("plan-cache", 0, "plan/artifact cache entries for SQL queries (0 = default 64, negative = disabled)")
+		planCacheBytes = flag.Int64("plan-cache-bytes", 0, "cap on cached compiled-artifact bytes (0 = mem-limit/8 when mem-limit is set, else default)")
+		maxPrepared    = flag.Int("max-prepared", 0, "max registered prepared statements (0 = 4096)")
 	)
 	flag.Parse()
 
@@ -63,7 +68,12 @@ func main() {
 		MaxConcurrent:  *maxConcurrent,
 		QueueDepth:     *queueDepth,
 		MemLimit:       *memLimit,
-		Logger:         logger,
+
+		PlanCacheEntries: *planCache,
+		PlanCacheBytes:   *planCacheBytes,
+		MaxPrepared:      *maxPrepared,
+
+		Logger: logger,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -32,6 +32,7 @@ import (
 	"inkfuse/internal/ir"
 	"inkfuse/internal/metrics"
 	"inkfuse/internal/obs"
+	"inkfuse/internal/sql"
 	"inkfuse/internal/storage"
 	"inkfuse/internal/tpch"
 	"inkfuse/internal/volcano"
@@ -101,6 +102,48 @@ func TPCHQuery(cat *Catalog, name string) (Node, error) {
 // TPCHQueries lists the supported query names.
 func TPCHQueries() []string {
 	return append([]string{}, tpch.Queries...)
+}
+
+// TPCHSQL returns the SQL text of one of the supported TPC-H queries —
+// the same plans TPCHQuery hand-builds, expressed for the text frontend.
+func TPCHSQL(name string) (string, bool) {
+	text, ok := tpch.SQL[name]
+	return text, ok
+}
+
+// CompileSQL parses and binds a SELECT statement against a catalog. The
+// returned statement carries the relational tree, the output column names,
+// and the parameter-invariant fingerprint under which repeated executions of
+// the same query shape share cached plans. Literals are auto-parameterized;
+// explicit ? placeholders are filled positionally at execution time.
+// Failures are *SQLParseError or *SQLBindError, both carrying a source
+// Position (see SQLErrorPosition).
+func CompileSQL(cat *Catalog, text string) (*SQLStatement, error) {
+	return sql.Compile(cat, text)
+}
+
+// RunSQL compiles and executes a SQL SELECT in one call:
+//
+//	res, err := inkfuse.RunSQL(cat,
+//	    "select count(*) as n from lineitem where l_quantity < ?",
+//	    []any{24.0}, inkfuse.Options{Backend: inkfuse.BackendHybrid})
+//
+// params fills the statement's ? placeholders in text order (nil when the
+// text has none). Callers that execute a shape repeatedly should keep the
+// CompileSQL statement and a plancache instead.
+func RunSQL(cat *Catalog, text string, params []any, opts Options) (*Result, error) {
+	stmt, err := sql.Compile(cat, text)
+	if err != nil {
+		return nil, err
+	}
+	plan, pm, err := algebra.LowerWithParams(stmt.Root, stmt.Name)
+	if err != nil {
+		return nil, err
+	}
+	if err := stmt.BindArgs(pm, params); err != nil {
+		return nil, err
+	}
+	return exec.Execute(plan, opts)
 }
 
 // GeneratedC renders the C source the engine's compilation stack generates

@@ -1,7 +1,7 @@
 // Package algebra provides the relational-algebra plan layer: typed
 // expressions, relational operators, and their lowering into suboperator
-// DAGs (paper Fig 7, step 3). Like InkFuse, the engine has no SQL frontend —
-// physical plans are built by hand against this API.
+// DAGs (paper Fig 7, step 3). Physical plans are built by hand against this
+// API or bound from SQL text by internal/sql.
 package algebra
 
 import (
@@ -39,7 +39,10 @@ func (c ColRef) Kind(s types.Schema) (types.Kind, error) {
 // Columns implements Expr.
 func (c ColRef) Columns(dst []string) []string { return append(dst, c.Name) }
 
-// Const is a literal constant.
+// Const is a literal constant. A non-zero Ref marks it as a bound parameter:
+// LowerWithParams records the runtime ConstState it lowers into under that
+// ref, and Fingerprint hashes only its kind, so plans that differ solely in
+// Ref'd literal values share a fingerprint and can share cached artifacts.
 type Const struct {
 	K   types.Kind
 	B   bool
@@ -47,6 +50,7 @@ type Const struct {
 	I64 int64
 	F64 float64
 	Str string
+	Ref int
 }
 
 // Kind implements Expr.
@@ -204,11 +208,13 @@ func (n NotE) Kind(s types.Schema) (types.Kind, error) {
 // Columns implements Expr.
 func (n NotE) Columns(dst []string) []string { return n.E.Columns(dst) }
 
-// LikeE is LIKE / NOT LIKE with a constant pattern.
+// LikeE is LIKE / NOT LIKE with a constant pattern. A non-zero Ref marks the
+// pattern as a bound parameter (see Const.Ref).
 type LikeE struct {
 	E       Expr
 	Pattern string
 	Negate  bool
+	Ref     int
 }
 
 // Like and NotLike build pattern predicates.
@@ -230,10 +236,12 @@ func (l LikeE) Kind(s types.Schema) (types.Kind, error) {
 // Columns implements Expr.
 func (l LikeE) Columns(dst []string) []string { return l.E.Columns(dst) }
 
-// InListE is string set membership.
+// InListE is string set membership. A non-zero Ref marks the member list as a
+// bound parameter (see Const.Ref).
 type InListE struct {
 	E       Expr
 	Members []string
+	Ref     int
 }
 
 // In builds an IN (...) predicate.

@@ -1,0 +1,183 @@
+package algebra
+
+import (
+	"fmt"
+	"math"
+
+	"inkfuse/internal/core"
+)
+
+// Fingerprint digests a relational tree into the canonical, parameter-
+// invariant cache key: Ref-tagged literals (Const.Ref, LikeE.Ref,
+// InListE.Ref) hash as typed placeholders with their values masked out, so
+// the same query shape with different parameter bindings maps to the same
+// fingerprint — the plancache contract. Untagged literals hash by value:
+// they are baked into the plan, and two plans differing in them must not
+// share artifacts.
+func Fingerprint(root Node) (core.Fingerprint, error) {
+	h := core.NewHasher()
+	if err := hashNode(h, root); err != nil {
+		return core.Fingerprint{}, err
+	}
+	return h.Sum(), nil
+}
+
+func hashNode(h *core.Hasher, n Node) error {
+	switch x := n.(type) {
+	case *Scan:
+		h.Str("scan")
+		h.Str(x.Table.Name)
+		for _, c := range x.Cols {
+			h.Str(c)
+		}
+	case *Filter:
+		h.Str("filter")
+		if err := hashExpr(h, x.Pred); err != nil {
+			return err
+		}
+		return hashNode(h, x.In)
+	case *Map:
+		h.Str("map")
+		for _, ne := range x.Exprs {
+			h.Str(ne.As)
+			if err := hashExpr(h, ne.E); err != nil {
+				return err
+			}
+		}
+		return hashNode(h, x.In)
+	case *Project:
+		h.Str("project")
+		for _, c := range x.Cols {
+			h.Str(c)
+		}
+		return hashNode(h, x.In)
+	case *GroupBy:
+		h.Str("group")
+		for _, k := range x.Keys {
+			h.Str(k)
+		}
+		for _, a := range x.Aggs {
+			h.Int(int(a.Fn))
+			h.Str(a.Col)
+			h.Str(a.As)
+		}
+		for _, k := range x.NoCase {
+			h.Str(k)
+		}
+		return hashNode(h, x.In)
+	case *HashJoin:
+		h.Str("join")
+		h.Int(int(x.Mode))
+		for _, k := range x.BuildKeys {
+			h.Str(k)
+		}
+		for _, k := range x.ProbeKeys {
+			h.Str(k)
+		}
+		for _, c := range x.BuildCols {
+			h.Str(c)
+		}
+		h.Str(x.MatchedAs)
+		if err := hashNode(h, x.Build); err != nil {
+			return err
+		}
+		return hashNode(h, x.Probe)
+	case *OrderBy:
+		h.Str("order")
+		for i, k := range x.Keys {
+			h.Str(k)
+			h.Bool(i < len(x.Desc) && x.Desc[i])
+		}
+		h.Int(x.Limit)
+		return hashNode(h, x.In)
+	default:
+		return fmt.Errorf("algebra: cannot fingerprint node %T", n)
+	}
+	return nil
+}
+
+func hashExpr(h *core.Hasher, e Expr) error {
+	switch x := e.(type) {
+	case ColRef:
+		h.Str("col")
+		h.Str(x.Name)
+	case Const:
+		h.Int(int(x.K))
+		if x.Ref > 0 {
+			// Typed placeholder: the value is a parameter, not part of the
+			// shape. The ref itself is positional and deterministic per shape.
+			h.Str("param")
+			h.Int(x.Ref)
+			return nil
+		}
+		h.Str("const")
+		h.Bool(x.B)
+		h.Int(int(x.I32))
+		h.Int(int(x.I64))
+		h.Int(int(uint32(math.Float64bits(x.F64) >> 32)))
+		h.Int(int(uint32(math.Float64bits(x.F64))))
+		h.Str(x.Str)
+	case Bin:
+		h.Str("bin")
+		h.Int(int(x.Op))
+		if err := hashExpr(h, x.L); err != nil {
+			return err
+		}
+		return hashExpr(h, x.R)
+	case CmpE:
+		h.Str("cmp")
+		h.Int(int(x.Op))
+		if err := hashExpr(h, x.L); err != nil {
+			return err
+		}
+		return hashExpr(h, x.R)
+	case LogicE:
+		h.Str("logic")
+		h.Int(int(x.Op))
+		if err := hashExpr(h, x.L); err != nil {
+			return err
+		}
+		return hashExpr(h, x.R)
+	case NotE:
+		h.Str("not")
+		return hashExpr(h, x.E)
+	case LikeE:
+		h.Str("like")
+		h.Bool(x.Negate)
+		if x.Ref > 0 {
+			h.Str("param")
+			h.Int(x.Ref)
+		} else {
+			h.Str(x.Pattern)
+		}
+		return hashExpr(h, x.E)
+	case InListE:
+		h.Str("in")
+		if x.Ref > 0 {
+			h.Str("param")
+			h.Int(x.Ref)
+		} else {
+			h.Int(len(x.Members))
+			for _, m := range x.Members {
+				h.Str(m)
+			}
+		}
+		return hashExpr(h, x.E)
+	case CaseE:
+		h.Str("case")
+		if err := hashExpr(h, x.Cond); err != nil {
+			return err
+		}
+		if err := hashExpr(h, x.Then); err != nil {
+			return err
+		}
+		return hashExpr(h, x.Else)
+	case CastE:
+		h.Str("cast")
+		h.Int(int(x.To))
+		return hashExpr(h, x.E)
+	default:
+		return fmt.Errorf("algebra: cannot fingerprint expression %T", e)
+	}
+	return nil
+}

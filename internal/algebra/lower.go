@@ -15,6 +15,15 @@ import (
 // state (hash tables, layouts, constants), and splits the tree into
 // pipelines.
 func Lower(root Node, name string) (*core.Plan, error) {
+	plan, _, err := LowerWithParams(root, name)
+	return plan, err
+}
+
+// LowerWithParams lowers like Lower and additionally collects the runtime
+// constant states created for Ref-tagged literals (Const.Ref, LikeE.Ref,
+// InListE.Ref) into a Params map, so callers can rebind parameter values on
+// the lowered plan without re-lowering (the plancache reuse path).
+func LowerWithParams(root Node, name string) (*core.Plan, *Params, error) {
 	plan := &core.Plan{Name: name}
 
 	node := root
@@ -25,21 +34,22 @@ func Lower(root Node, name string) (*core.Plan, error) {
 	}
 	finalSchema, err := node.Schema()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	required := make([]string, len(finalSchema))
 	for i, c := range finalSchema {
 		required[i] = c.Name
 	}
 
-	l := &lowerer{plan: plan}
+	params := newParams()
+	l := &lowerer{plan: plan, params: params}
 	if err := l.lower(node, required); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for _, c := range finalSchema {
 		iu, ok := l.cols[c.Name]
 		if !ok {
-			return nil, fmt.Errorf("algebra: result column %q not produced", c.Name)
+			return nil, nil, fmt.Errorf("algebra: result column %q not produced", c.Name)
 		}
 		l.pipe.Result = append(l.pipe.Result, iu)
 		plan.ColNames = append(plan.ColNames, c.Name)
@@ -51,7 +61,7 @@ func Lower(root Node, name string) (*core.Plan, error) {
 		for i, k := range order.Keys {
 			idx := finalSchema.IndexOf(k)
 			if idx < 0 {
-				return nil, fmt.Errorf("algebra: order key %q not in result", k)
+				return nil, nil, fmt.Errorf("algebra: order key %q not in result", k)
 			}
 			spec.Keys = append(spec.Keys, idx)
 			desc := false
@@ -62,14 +72,15 @@ func Lower(root Node, name string) (*core.Plan, error) {
 		}
 		plan.Sort = spec
 	}
-	return plan, nil
+	return plan, params, nil
 }
 
 type lowerer struct {
-	plan  *core.Plan
-	pipe  *core.Pipeline
-	cols  map[string]*core.IU
-	npipe int
+	plan   *core.Plan
+	pipe   *core.Pipeline
+	cols   map[string]*core.IU
+	npipe  int
+	params *Params
 }
 
 func (l *lowerer) newPipe(src core.Source) {

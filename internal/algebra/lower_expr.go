@@ -87,9 +87,10 @@ func (l *lowerer) lowerExpr(e Expr) (*core.IU, error) {
 		if err != nil {
 			return nil, err
 		}
+		st := &rt.LikeState{M: rt.NewLikeMatcher(x.Pattern)}
+		l.params.addLike(x.Ref, st)
 		out := core.NewIU(types.Bool, "b_like")
-		l.add(&core.Like{In: in, State: &rt.LikeState{M: rt.NewLikeMatcher(x.Pattern)},
-			Negate: x.Negate, Out: out})
+		l.add(&core.Like{In: in, State: st, Negate: x.Negate, Out: out})
 		return out, nil
 
 	case InListE:
@@ -97,8 +98,10 @@ func (l *lowerer) lowerExpr(e Expr) (*core.IU, error) {
 		if err != nil {
 			return nil, err
 		}
+		st := rt.NewInList(x.Members...)
+		l.params.addInList(x.Ref, st)
 		out := core.NewIU(types.Bool, "b_in")
-		l.add(&core.InList{In: in, State: rt.NewInList(x.Members...), Out: out})
+		l.add(&core.InList{In: in, State: st, Out: out})
 		return out, nil
 
 	case CaseE:
@@ -139,7 +142,7 @@ func (l *lowerer) lowerExpr(e Expr) (*core.IU, error) {
 // runtime constants (paper §IV-C).
 func (l *lowerer) lowerOperand(e Expr) (core.Operand, error) {
 	if c, ok := e.(Const); ok {
-		return core.ConstOf(constState(c)), nil
+		return core.ConstOf(l.constState(c)), nil
 	}
 	iu, err := l.lowerExpr(e)
 	if err != nil {
@@ -148,6 +151,8 @@ func (l *lowerer) lowerOperand(e Expr) (core.Operand, error) {
 	return core.Col(iu), nil
 }
 
-func constState(c Const) *rt.ConstState {
-	return &rt.ConstState{Kind: c.K, B: c.B, I32: c.I32, I64: c.I64, F64: c.F64, Str: c.Str}
+func (l *lowerer) constState(c Const) *rt.ConstState {
+	st := &rt.ConstState{Kind: c.K, B: c.B, I32: c.I32, I64: c.I64, F64: c.F64, Str: c.Str}
+	l.params.addConst(c.Ref, st)
+	return st
 }

@@ -31,7 +31,7 @@ func (l *lowerer) lowerJoin(n *HashJoin, required []string) error {
 	}
 
 	// --- Build pipeline: pack key + payload, insert (paper §IV-E).
-	lb := &lowerer{plan: l.plan}
+	lb := &lowerer{plan: l.plan, params: l.params}
 	breq := dedupe(append(append([]string{}, n.BuildKeys...), carry...))
 	if err := lb.lower(n.Build, breq); err != nil {
 		return err

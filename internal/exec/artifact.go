@@ -1,0 +1,113 @@
+package exec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"inkfuse/internal/ir"
+)
+
+// ArtifactSet collects the compiled artifacts of one lowered plan instance so
+// repeated executions skip recompilation (and its modeled latency): the
+// compiling and hybrid backends share whole-pipeline fused steps, the ROF
+// backend keeps its per-split step chains. Artifacts close over the plan's
+// runtime state objects, so a set is only valid for executions of the exact
+// plan instance it was built from — the plancache leases plan and set
+// together and never runs two executions over them concurrently.
+//
+// All methods are nil-receiver safe: callers without a cache simply leave
+// Options.Artifacts nil.
+type ArtifactSet struct {
+	mu       sync.Mutex
+	fused    map[int]*fusedStep   // pipeline index → whole-pipeline artifact
+	rof      map[int][]*fusedStep // pipeline index → ROF step chain
+	compiles atomic.Int64
+}
+
+// NewArtifactSet creates an empty set.
+func NewArtifactSet() *ArtifactSet {
+	return &ArtifactSet{fused: make(map[int]*fusedStep), rof: make(map[int][]*fusedStep)}
+}
+
+// Compiles reports how many compilation runs deposited into the set — the
+// "did the second execution recompile?" observable.
+func (a *ArtifactSet) Compiles() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.compiles.Load()
+}
+
+// FusedPipelines reports how many pipelines have a landed whole-pipeline
+// artifact.
+func (a *ArtifactSet) FusedPipelines() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.fused)
+}
+
+// CostBytes estimates the set's memory footprint for cache accounting: the
+// IR node count of every stored artifact, scaled by a nominal bytes-per-node.
+func (a *ArtifactSet) CostBytes() int64 {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	const bytesPerNode = 64
+	var nodes int64
+	for _, s := range a.fused {
+		nodes += int64(ir.Size(s.fn))
+	}
+	for _, chain := range a.rof {
+		for _, s := range chain {
+			nodes += int64(ir.Size(s.fn))
+		}
+	}
+	return nodes * bytesPerNode
+}
+
+func (a *ArtifactSet) loadFused(pi int) *fusedStep {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.fused[pi]
+}
+
+func (a *ArtifactSet) storeFused(pi int, s *fusedStep) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.fused[pi] = s
+}
+
+func (a *ArtifactSet) loadROF(pi int) []*fusedStep {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.rof[pi]
+}
+
+func (a *ArtifactSet) storeROF(pi int, steps []*fusedStep) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.rof[pi] = steps
+}
+
+func (a *ArtifactSet) noteCompile() {
+	if a != nil {
+		a.compiles.Add(1)
+	}
+}

@@ -68,6 +68,13 @@ type Options struct {
 	// worker state is built. Off by default (lowering is trusted in
 	// production); tests and the serving layer's strict mode turn it on.
 	VerifyIR bool
+	// Artifacts, when non-nil, caches compiled pipeline artifacts across
+	// executions of the same plan instance: the compiling/ROF/hybrid backends
+	// consult it before compiling and deposit what they compile. Artifacts
+	// close over the plan's runtime state, so the set must only ever be used
+	// with the plan it was built from (the plancache enforces this by leasing
+	// plan and set together).
+	Artifacts *ArtifactSet
 }
 
 func (o Options) withDefaults() Options {
@@ -293,7 +300,7 @@ func ExecuteContext(ctx context.Context, plan *core.Plan, opts Options) (*Result
 	// pipeline runs, its fused code is usually already waiting.
 	var bgs []*hybridCompile
 	if opts.Backend == BackendHybrid {
-		bgs = startHybridCompiles(ctx, plan.Pipelines, *opts.Latency, opts.CompileJobs)
+		bgs = startHybridCompiles(ctx, plan.Pipelines, *opts.Latency, opts.CompileJobs, opts.Artifacts)
 		defer func() {
 			for _, h := range bgs {
 				h.abandon()
@@ -333,7 +340,7 @@ func ExecuteContext(ctx context.Context, plan *core.Plan, opts Options) (*Result
 		if bgs != nil {
 			bg = bgs[pi]
 		}
-		r, err := newRunner(ctx, pipe, opts, reg, bg, pt)
+		r, err := newRunner(ctx, pi, pipe, opts, reg, bg, pt)
 		if err != nil {
 			return failed(fmt.Errorf("exec: %s/%s: %w", plan.Name, pipe.Name, err))
 		}

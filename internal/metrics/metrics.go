@@ -49,6 +49,13 @@ type Registry struct {
 	schedDrainCanceled atomic.Int64
 	schedRunning       atomic.Int64 // gauge: admitted queries now
 	schedQueued        atomic.Int64 // gauge: admissions waiting now
+
+	// Plan-cache counters, fed by internal/plancache: fingerprint lookups
+	// that reused a cached plan+artifact instance, ones that had to build
+	// fresh, and LRU evictions.
+	plancacheHits      atomic.Int64
+	plancacheMisses    atomic.Int64
+	plancacheEvictions atomic.Int64
 }
 
 // Default is the process-wide registry the executor feeds; it is exported
@@ -131,6 +138,21 @@ func (r *Registry) SchedQueued(delta int64) {
 	r.schedQueued.Add(delta)
 }
 
+// PlanCacheHit records one fingerprint lookup served from the cache.
+func (r *Registry) PlanCacheHit() {
+	r.plancacheHits.Add(1)
+}
+
+// PlanCacheMiss records one fingerprint lookup that built a fresh plan.
+func (r *Registry) PlanCacheMiss() {
+	r.plancacheMisses.Add(1)
+}
+
+// PlanCacheEvicted records n cached entries evicted by the LRU bound.
+func (r *Registry) PlanCacheEvicted(n int64) {
+	r.plancacheEvictions.Add(n)
+}
+
 // Snapshot is a point-in-time copy of the registry, in export form. Field
 // names double as the exported metric names.
 type Snapshot struct {
@@ -153,6 +175,10 @@ type Snapshot struct {
 	SchedDrainCanceled int64 `json:"sched_drain_canceled"`
 	SchedRunning       int64 `json:"sched_running"`
 	SchedQueued        int64 `json:"sched_queued"`
+
+	PlanCacheHits      int64 `json:"plancache_hits"`
+	PlanCacheMisses    int64 `json:"plancache_misses"`
+	PlanCacheEvictions int64 `json:"plancache_evictions"`
 }
 
 // Snapshot copies the registry's current values.
@@ -177,6 +203,10 @@ func (r *Registry) Snapshot() Snapshot {
 		SchedDrainCanceled: r.schedDrainCanceled.Load(),
 		SchedRunning:       r.schedRunning.Load(),
 		SchedQueued:        r.schedQueued.Load(),
+
+		PlanCacheHits:      r.plancacheHits.Load(),
+		PlanCacheMisses:    r.plancacheMisses.Load(),
+		PlanCacheEvictions: r.plancacheEvictions.Load(),
 	}
 }
 
@@ -203,6 +233,10 @@ func (r *Registry) Dump() string {
 		"sched_drain_canceled": s.SchedDrainCanceled,
 		"sched_running":        s.SchedRunning,
 		"sched_queued":         s.SchedQueued,
+
+		"plancache_hits":      s.PlanCacheHits,
+		"plancache_misses":    s.PlanCacheMisses,
+		"plancache_evictions": s.PlanCacheEvictions,
 	}
 	names := make([]string, 0, len(rows))
 	for n := range rows {

@@ -1,0 +1,195 @@
+// Package plancache caches lowered plans and their compiled pipeline
+// artifacts across requests, keyed by the canonical parameter-invariant
+// algebra fingerprint (algebra.Fingerprint): the second execution of a query
+// shape — same structure, different literals — skips parsing-to-plan work and
+// runs straight on the artifacts the first execution's background compiles
+// landed (the amortization the paper's incremental-fusion design needs at
+// serving scale).
+//
+// A cached instance is the triple (lowered plan, parameter map, artifact
+// set). Plans embed per-run mutable state (join tables sealed per execution,
+// merged aggregate results) and artifacts close over exactly those state
+// objects, so instances are leased exclusively: Acquire pops an idle
+// instance, the caller patches parameters and executes, Put resets the run
+// state and returns it. Concurrent requests for the same fingerprint beyond
+// the pooled instances fall back to a fresh build and count as misses.
+package plancache
+
+import (
+	"container/list"
+	"sync"
+
+	"inkfuse/internal/algebra"
+	"inkfuse/internal/core"
+	"inkfuse/internal/exec"
+	"inkfuse/internal/metrics"
+)
+
+// Prepared is one exclusively-leased executable instance: a lowered plan, the
+// parameter states to patch literals into it, and the compiled artifacts of
+// earlier executions.
+type Prepared struct {
+	fp     core.Fingerprint
+	plan   *core.Plan
+	params *algebra.Params
+	arts   *exec.ArtifactSet
+	cost   int64
+}
+
+// NewPrepared wraps a freshly built plan for insertion into a cache.
+func NewPrepared(fp core.Fingerprint, plan *core.Plan, params *algebra.Params) *Prepared {
+	return &Prepared{fp: fp, plan: plan, params: params, arts: exec.NewArtifactSet()}
+}
+
+// Fingerprint returns the instance's cache key.
+func (p *Prepared) Fingerprint() core.Fingerprint { return p.fp }
+
+// Plan returns the lowered plan. Valid only while the instance is leased.
+func (p *Prepared) Plan() *core.Plan { return p.plan }
+
+// Params returns the parameter map for rebinding literals.
+func (p *Prepared) Params() *algebra.Params { return p.params }
+
+// Artifacts returns the artifact set to pass as exec.Options.Artifacts.
+// Nil-safe, like the set itself: a nil Prepared yields a nil set, which the
+// executor treats as "no landed artifacts".
+func (p *Prepared) Artifacts() *exec.ArtifactSet {
+	if p == nil {
+		return nil
+	}
+	return p.arts
+}
+
+// Config bounds a Cache.
+type Config struct {
+	// MaxEntries bounds distinct fingerprints (LRU evicted). <= 0 means 64.
+	MaxEntries int
+	// MaxBytes bounds the summed artifact cost estimate across all cached
+	// instances; entries are LRU-evicted past it. Servers size this from the
+	// engine memory limit so the cache never crowds out query memory
+	// reservations. <= 0 means 64 MiB.
+	MaxBytes int64
+	// MaxInstances bounds pooled instances per fingerprint (concurrent
+	// same-shape executions beyond it build fresh and are dropped on Put).
+	// <= 0 means 4.
+	MaxInstances int
+}
+
+// Stats is a point-in-time cache snapshot.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+}
+
+type entry struct {
+	fp      core.Fingerprint
+	idle    []*Prepared
+	lruElem *list.Element
+	evicted bool
+}
+
+// Cache is a bounded LRU over query-shape fingerprints. Safe for concurrent
+// use.
+type Cache struct {
+	cfg Config
+
+	mu      sync.Mutex
+	entries map[core.Fingerprint]*entry
+	lru     *list.List // front = most recently used; values are *entry
+	bytes   int64
+
+	hits, misses, evictions int64
+}
+
+// New builds an empty cache.
+func New(cfg Config) *Cache {
+	if cfg.MaxEntries <= 0 {
+		cfg.MaxEntries = 64
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = 64 << 20
+	}
+	if cfg.MaxInstances <= 0 {
+		cfg.MaxInstances = 4
+	}
+	return &Cache{cfg: cfg, entries: make(map[core.Fingerprint]*entry), lru: list.New()}
+}
+
+// Acquire leases an idle instance for the fingerprint, or returns nil on a
+// miss (no entry, or every pooled instance is busy). The caller of a miss
+// builds fresh and hands the instance to Put when done.
+func (c *Cache) Acquire(fp core.Fingerprint) *Prepared {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[fp]
+	if e == nil || len(e.idle) == 0 {
+		c.misses++
+		metrics.Default.PlanCacheMiss()
+		return nil
+	}
+	p := e.idle[len(e.idle)-1]
+	e.idle = e.idle[:len(e.idle)-1]
+	c.bytes -= p.cost
+	c.lru.MoveToFront(e.lruElem)
+	c.hits++
+	metrics.Default.PlanCacheHit()
+	return p
+}
+
+// Put returns an instance to the cache — both releasing a leased hit and
+// inserting a fresh miss build go through here. The instance's run state is
+// reset, its cost re-estimated (background compiles may have landed new
+// artifacts), and it is pooled unless its entry was evicted meanwhile or the
+// per-entry pool is full. Must only be called once no execution references
+// the instance.
+func (c *Cache) Put(p *Prepared) {
+	core.ResetPlanState(p.plan)
+	p.cost = p.arts.CostBytes()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[p.fp]
+	if e == nil {
+		e = &entry{fp: p.fp}
+		e.lruElem = c.lru.PushFront(e)
+		c.entries[p.fp] = e
+	} else if e.evicted || len(e.idle) >= c.cfg.MaxInstances {
+		return
+	}
+	e.idle = append(e.idle, p)
+	c.bytes += p.cost
+	c.lru.MoveToFront(e.lruElem)
+	c.evict()
+}
+
+// evict drops least-recently-used entries until the bounds hold. Leased
+// instances are untracked while out; an evicted entry's stragglers are
+// dropped at Put via the evicted flag.
+func (c *Cache) evict() {
+	for (len(c.entries) > c.cfg.MaxEntries || c.bytes > c.cfg.MaxBytes) && c.lru.Len() > 1 {
+		back := c.lru.Back()
+		e := back.Value.(*entry)
+		for _, p := range e.idle {
+			c.bytes -= p.cost
+		}
+		e.idle = nil
+		e.evicted = true
+		c.lru.Remove(back)
+		delete(c.entries, e.fp)
+		c.evictions++
+		metrics.Default.PlanCacheEvicted(1)
+	}
+}
+
+// Stats snapshots the cache.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Entries: len(c.entries), Bytes: c.bytes,
+	}
+}

@@ -1,0 +1,172 @@
+package plancache_test
+
+import (
+	"fmt"
+	"testing"
+
+	"inkfuse/internal/algebra"
+	"inkfuse/internal/exec"
+	"inkfuse/internal/plancache"
+	"inkfuse/internal/sql"
+	"inkfuse/internal/tpch"
+)
+
+var cat = tpch.Generate(0.002, 11)
+
+func mustPrepare(t *testing.T, text string) (*sql.Statement, *plancache.Prepared) {
+	t.Helper()
+	stmt, err := sql.Compile(cat, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, params, err := algebra.LowerWithParams(stmt.Root, stmt.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stmt, plancache.NewPrepared(stmt.Fingerprint, plan, params)
+}
+
+func runOn(t *testing.T, stmt *sql.Statement, prep *plancache.Prepared, backend exec.Backend) []string {
+	t.Helper()
+	if err := stmt.BindArgs(prep.Params(), nil); err != nil {
+		t.Fatal(err)
+	}
+	lat := exec.LatencyNone
+	res, err := exec.Execute(prep.Plan(), exec.Options{
+		Backend: backend, Workers: 2, Latency: &lat, Artifacts: prep.Artifacts(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]string, res.Chunk.Rows())
+	for i := range rows {
+		rows[i] = fmt.Sprintf("%v", res.Chunk.Row(i))
+	}
+	return rows
+}
+
+// TestAcquirePutLifecycle covers the lease protocol: miss on empty, hit after
+// Put, exclusive lease (second Acquire misses while leased), miss counters.
+func TestAcquirePutLifecycle(t *testing.T) {
+	c := plancache.New(plancache.Config{})
+	stmt, prep := mustPrepare(t, `select count(*) as n from lineitem`)
+	fp := stmt.Fingerprint
+
+	if got := c.Acquire(fp); got != nil {
+		t.Fatal("acquire on empty cache should miss")
+	}
+	runOn(t, stmt, prep, exec.BackendVectorized)
+	c.Put(prep)
+
+	leased := c.Acquire(fp)
+	if leased == nil {
+		t.Fatal("acquire after Put should hit")
+	}
+	if c.Acquire(fp) != nil {
+		t.Fatal("instance is leased; a concurrent acquire must miss")
+	}
+	// A leased instance stays executable after the state reset in Put.
+	runOn(t, stmt, leased, exec.BackendVectorized)
+	c.Put(leased)
+
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Entries != 1 {
+		t.Fatalf("unexpected stats: %+v", st)
+	}
+}
+
+// TestLRUEviction fills a 2-entry cache with 3 query shapes and checks the
+// least-recently-used one is dropped, with straggler Puts discarded.
+func TestLRUEviction(t *testing.T) {
+	c := plancache.New(plancache.Config{MaxEntries: 2})
+	texts := []string{
+		`select count(*) as n from lineitem`,
+		`select count(*) as n from orders`,
+		`select count(*) as n from customer`,
+	}
+	var stmts []*sql.Statement
+	var preps []*plancache.Prepared
+	for _, text := range texts {
+		stmt, prep := mustPrepare(t, text)
+		stmts = append(stmts, stmt)
+		runOn(t, stmt, prep, exec.BackendVectorized)
+		c.Put(prep)
+		preps = append(preps, prep)
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("want 2 entries / 1 eviction, got %+v", st)
+	}
+	if c.Acquire(stmts[0].Fingerprint) != nil {
+		t.Fatal("oldest entry should have been evicted")
+	}
+	if got := c.Acquire(stmts[2].Fingerprint); got == nil {
+		t.Fatal("newest entry should be cached")
+	}
+	// Re-inserting an instance of the evicted shape re-creates the entry.
+	c.Put(preps[0])
+	if c.Acquire(stmts[0].Fingerprint) == nil {
+		t.Fatal("re-inserted shape should hit again")
+	}
+}
+
+// TestArtifactReuseOnHit is the PR's acceptance criterion: after a cold run
+// of one query shape lands its compiled artifacts, executing the same shape
+// with different literals hits the cache, performs zero new compilations, and
+// produces bytes identical to a cold run of the new literals.
+func TestArtifactReuseOnHit(t *testing.T) {
+	const shapeA = `select l_returnflag, sum(l_extendedprice) as s from lineitem where l_quantity < 30 group by l_returnflag order by l_returnflag`
+	const shapeB = `select l_returnflag, sum(l_extendedprice) as s from lineitem where l_quantity < 11 group by l_returnflag order by l_returnflag`
+
+	c := plancache.New(plancache.Config{})
+	stmtA, prep := mustPrepare(t, shapeA)
+	stmtB, err := sql.Compile(cat, shapeB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmtA.Fingerprint != stmtB.Fingerprint {
+		t.Fatal("shapes must share a fingerprint")
+	}
+
+	// Cold: run on the hybrid backend until every pipeline's fused artifact
+	// has landed (background compiles race the execution, so retry).
+	if c.Acquire(stmtA.Fingerprint) != nil {
+		t.Fatal("cold acquire must miss")
+	}
+	runOn(t, stmtA, prep, exec.BackendHybrid)
+	for i := 0; prep.Artifacts().FusedPipelines() < len(prep.Plan().Pipelines); i++ {
+		if i >= 50 {
+			t.Fatalf("artifacts never landed: %d/%d pipelines fused",
+				prep.Artifacts().FusedPipelines(), len(prep.Plan().Pipelines))
+		}
+		c.Put(prep)
+		if prep = c.Acquire(stmtA.Fingerprint); prep == nil {
+			t.Fatal("warm acquire must hit")
+		}
+		runOn(t, stmtA, prep, exec.BackendHybrid)
+	}
+	c.Put(prep)
+
+	// Reference: a cold, uncached run of shape B's literals.
+	_, coldB := mustPrepare(t, shapeB)
+	wantB := runOn(t, stmtB, coldB, exec.BackendHybrid)
+
+	// Hit: same shape, B's literals, reusing A's instance and artifacts.
+	hitsBefore := c.Stats().Hits
+	leased := c.Acquire(stmtB.Fingerprint)
+	if leased == nil {
+		t.Fatal("hot acquire must hit")
+	}
+	compilesBefore := leased.Artifacts().Compiles()
+	gotB := runOn(t, stmtB, leased, exec.BackendHybrid)
+	if got := leased.Artifacts().Compiles(); got != compilesBefore {
+		t.Fatalf("cache hit recompiled: %d compiles before, %d after", compilesBefore, got)
+	}
+	if c.Stats().Hits != hitsBefore+1 {
+		t.Fatalf("hit counter did not increment: %d -> %d", hitsBefore, c.Stats().Hits)
+	}
+	if fmt.Sprint(gotB) != fmt.Sprint(wantB) {
+		t.Fatalf("hit result differs from cold run:\n hit  %v\n cold %v", gotB, wantB)
+	}
+	c.Put(leased)
+}

@@ -57,6 +57,9 @@ func NewJoinTable(shardCount int) *JoinTable {
 	return t
 }
 
+// ShardCount reports the table's shard-array size (always a power of two).
+func (t *JoinTable) ShardCount() int { return len(t.shards) }
+
 // SetBudget charges this table's future allocations (arena blocks, entry
 // bookkeeping, seal-time bucket arrays) to the query budget. Call before the
 // build pipeline inserts.

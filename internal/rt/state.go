@@ -96,6 +96,13 @@ type AggTableState struct {
 	Global *AggTable // set by the scheduler after merging
 }
 
+// Reset drops the merged result and the per-run size hint, making the owning
+// plan reusable for another execution.
+func (s *AggTableState) Reset() {
+	s.Global = nil
+	s.SizeHint = 0
+}
+
 // NewInstance creates a fresh table for one worker.
 func (s *AggTableState) NewInstance() *AggTable {
 	t := NewAggTable(s.Init, s.Shards)
@@ -145,6 +152,12 @@ func (s *AggTableState) mergePayload(drow, row []byte) {
 // JoinTableState wires a join hash table into the generated code.
 type JoinTableState struct {
 	Table *JoinTable
+}
+
+// Reset replaces the sealed table with a fresh empty one of the same shard
+// layout, making the owning plan reusable for another execution.
+func (s *JoinTableState) Reset() {
+	s.Table = NewJoinTable(s.Table.ShardCount())
 }
 
 // LikeState wires a compiled LIKE matcher into the generated code.

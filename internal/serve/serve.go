@@ -21,14 +21,18 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"inkfuse/internal/algebra"
+	"inkfuse/internal/core"
 	"inkfuse/internal/exec"
 	"inkfuse/internal/faultinject"
 	"inkfuse/internal/obs"
+	"inkfuse/internal/plancache"
 	"inkfuse/internal/sched"
+	"inkfuse/internal/sql"
 	"inkfuse/internal/storage"
 	"inkfuse/internal/tpch"
 	"inkfuse/internal/types"
@@ -65,6 +69,15 @@ type Config struct {
 	// MemLimit caps the sum of admitted queries' memory budgets
 	// (0 = unlimited).
 	MemLimit int64
+	// PlanCacheEntries bounds distinct query shapes in the plan/artifact
+	// cache (0 = 64; negative disables caching entirely).
+	PlanCacheEntries int
+	// PlanCacheBytes bounds the cache's summed artifact cost. 0 derives the
+	// bound from MemLimit (MemLimit/8, so cached artifacts never crowd out
+	// query memory reservations) or falls back to the plancache default.
+	PlanCacheBytes int64
+	// MaxPrepared caps registered prepared statements (0 = 4096).
+	MaxPrepared int
 	// Logger receives the query log; nil uses slog.Default().
 	Logger *slog.Logger
 }
@@ -72,10 +85,15 @@ type Config struct {
 // Server is one inkserve instance: a resident catalog, the engine-wide
 // scheduler pool every request executes through, and the HTTP handlers.
 type Server struct {
-	cfg  Config
-	cat  *storage.Catalog
-	pool *sched.Pool
-	log  *slog.Logger
+	cfg   Config
+	cat   *storage.Catalog
+	pool  *sched.Pool
+	cache *plancache.Cache // nil when disabled
+	log   *slog.Logger
+
+	prepMu   sync.Mutex
+	prepared map[string]*sql.Statement
+	prepSeq  atomic.Int64
 
 	start    time.Time
 	seq      atomic.Int64 // request ids for the query log
@@ -98,13 +116,27 @@ func New(cfg Config) *Server {
 	if log == nil {
 		log = slog.Default()
 	}
+	if cfg.MaxPrepared <= 0 {
+		cfg.MaxPrepared = 4096
+	}
 	pool := sched.NewPool(sched.Config{
 		Workers:       cfg.EngineWorkers,
 		MaxConcurrent: cfg.MaxConcurrent,
 		QueueDepth:    cfg.QueueDepth,
 		MemLimit:      cfg.MemLimit,
 	})
-	return &Server{cfg: cfg, cat: tpch.Generate(cfg.SF, cfg.Seed), pool: pool, log: log, start: time.Now()}
+	var cache *plancache.Cache
+	if cfg.PlanCacheEntries >= 0 {
+		bytes := cfg.PlanCacheBytes
+		if bytes == 0 && cfg.MemLimit > 0 {
+			bytes = cfg.MemLimit / 8
+		}
+		cache = plancache.New(plancache.Config{MaxEntries: cfg.PlanCacheEntries, MaxBytes: bytes})
+	}
+	return &Server{
+		cfg: cfg, cat: tpch.Generate(cfg.SF, cfg.Seed), pool: pool, cache: cache,
+		prepared: make(map[string]*sql.Statement), log: log, start: time.Now(),
+	}
 }
 
 // Close drains the server's scheduler: admissions stop (new queries get 503
@@ -126,6 +158,8 @@ func (s *Server) SchedStats() sched.Stats {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /prepare", s.handlePrepare)
+	mux.HandleFunc("DELETE /prepare/{handle}", s.handleClosePrepared)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /queries", s.handleQueries)
@@ -138,10 +172,20 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// QueryRequest is the JSON body of POST /query.
+// QueryRequest is the JSON body of POST /query. Exactly one of Query, SQL,
+// Prepared selects what runs.
 type QueryRequest struct {
 	// Query names one of the served TPC-H queries (see GET /queries).
-	Query string `json:"query"`
+	Query string `json:"query,omitempty"`
+	// SQL is a SELECT statement compiled by the text frontend. Literals are
+	// auto-parameterized: repeated shapes share a plan-cache entry.
+	SQL string `json:"sql,omitempty"`
+	// Prepared executes a statement registered via POST /prepare.
+	Prepared string `json:"prepared,omitempty"`
+	// Params fills the statement's ? placeholders, in text order. Numbers
+	// bind to the column kind the planner inferred; dates are "YYYY-MM-DD"
+	// strings.
+	Params []any `json:"params,omitempty"`
 	// Backend selects the execution backend ("vectorized", "compiling",
 	// "rof", "hybrid"); empty uses the server default.
 	Backend string `json:"backend,omitempty"`
@@ -172,18 +216,31 @@ type QueryResponse struct {
 	RowsPerSec float64  `json:"rows_per_sec,omitempty"` // source tuples/sec
 	Columns    []string `json:"columns,omitempty"`
 	Data       [][]any  `json:"data,omitempty"`
-	Truncated  bool     `json:"truncated,omitempty"`
-	Warnings   []string `json:"warnings,omitempty"`
-	Explain    string   `json:"explain,omitempty"`
-	Trace      string   `json:"trace,omitempty"`
+	// TotalRows is the full result cardinality; Data holds min(TotalRows,
+	// max_rows) rows and RowsTruncated says whether the cap cut anything.
+	// Truncated is the legacy alias of RowsTruncated.
+	TotalRows     int      `json:"total_rows"`
+	RowsTruncated bool     `json:"rows_truncated"`
+	Truncated     bool     `json:"truncated,omitempty"`
+	Warnings      []string `json:"warnings,omitempty"`
+	Explain       string   `json:"explain,omitempty"`
+	Trace         string   `json:"trace,omitempty"`
+	// Fingerprint is the parameter-invariant plan-cache key (SQL path only);
+	// PlanCache reports whether this execution reused a cached plan ("hit",
+	// "miss", or "off" when caching is disabled).
+	Fingerprint string `json:"fingerprint,omitempty"`
+	PlanCache   string `json:"plan_cache,omitempty"`
 }
 
 // ErrorResponse is the JSON body of a failed request. Kind classifies the
-// failure ("bad_request", "unknown_query", "canceled", "deadline",
-// "memory_budget", "panic", "internal"); QueryError locates engine failures.
+// failure ("bad_request", "unknown_query", "parse_error", "bind_error",
+// "bad_params", "unknown_prepared", "canceled", "deadline", "memory_budget",
+// "panic", "internal"); QueryError locates engine failures and Location
+// points parse/bind errors into the SQL text.
 type ErrorResponse struct {
 	Error      string            `json:"error"`
 	Kind       string            `json:"kind"`
+	Location   *sql.Position     `json:"location,omitempty"`
 	QueryError *QueryErrorDetail `json:"query_error,omitempty"`
 }
 
@@ -233,15 +290,90 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.failRequest(w, id, http.StatusBadRequest, "bad_request", err)
 		return
 	}
-	node, err := tpch.Build(s.cat, req.Query)
-	if err != nil {
-		s.failRequest(w, id, http.StatusNotFound, "unknown_query", err)
+	nSources := 0
+	for _, src := range []string{req.Query, req.SQL, req.Prepared} {
+		if src != "" {
+			nSources++
+		}
+	}
+	if nSources != 1 {
+		s.failRequest(w, id, http.StatusBadRequest, "bad_request",
+			errors.New("exactly one of query, sql, prepared must be set"))
 		return
 	}
-	plan, err := algebra.Lower(node, req.Query)
-	if err != nil {
-		s.failRequest(w, id, http.StatusInternalServerError, "internal", err)
-		return
+
+	// Resolve the request to an executable plan. All parse, bind, and
+	// parameter failures reject here, before the query touches the scheduler:
+	// a malformed request must never hold an admission slot or a memory
+	// reservation (admission happens inside exec.ExecuteContext below).
+	var (
+		label       string // query name for logs and the response
+		plan        *core.Plan
+		prep        *plancache.Prepared // SQL path only
+		fingerprint string
+		cacheState  string
+	)
+	if req.Query != "" {
+		label = req.Query
+		node, err := tpch.Build(s.cat, req.Query)
+		if err != nil {
+			s.failRequest(w, id, http.StatusNotFound, "unknown_query", err)
+			return
+		}
+		if plan, err = algebra.Lower(node, req.Query); err != nil {
+			s.failRequest(w, id, http.StatusInternalServerError, "internal", err)
+			return
+		}
+	} else {
+		var stmt *sql.Statement
+		if req.Prepared != "" {
+			if stmt = s.lookupPrepared(req.Prepared); stmt == nil {
+				s.failRequest(w, id, http.StatusNotFound, "unknown_prepared",
+					fmt.Errorf("unknown prepared statement %q", req.Prepared))
+				return
+			}
+		} else {
+			var err error
+			if stmt, err = sql.Compile(s.cat, req.SQL); err != nil {
+				s.failSQL(w, id, err)
+				return
+			}
+		}
+		if len(req.Params) != stmt.NumParams() {
+			s.failRequest(w, id, http.StatusBadRequest, "bad_params",
+				fmt.Errorf("statement takes %d parameters, got %d", stmt.NumParams(), len(req.Params)))
+			return
+		}
+		label = stmt.Name
+		fingerprint = stmt.Fingerprint.Hex()
+		prep, cacheState = s.acquirePlan(stmt)
+		if prep == nil {
+			lowered, params, err := algebra.LowerWithParams(stmt.Root, stmt.Name)
+			if err != nil {
+				s.failRequest(w, id, http.StatusInternalServerError, "internal", err)
+				return
+			}
+			if err := core.VerifyPlan(lowered); err != nil {
+				s.failRequest(w, id, http.StatusInternalServerError, "internal", err)
+				return
+			}
+			prep = plancache.NewPrepared(stmt.Fingerprint, lowered, params)
+		}
+		if err := stmt.BindArgs(prep.Params(), req.Params); err != nil {
+			if s.cache != nil {
+				s.cache.Put(prep)
+			}
+			s.failRequest(w, id, http.StatusBadRequest, "bad_params", err)
+			return
+		}
+		plan = prep.Plan()
+		// Return the leased instance — with whatever artifacts this
+		// execution deposits — once the request is done with it.
+		defer func() {
+			if s.cache != nil {
+				s.cache.Put(prep)
+			}
+		}()
 	}
 
 	opts := exec.Options{
@@ -251,6 +383,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Profile:      req.Profile,
 		Trace:        req.Profile,
 		Pool:         s.pool,
+		Artifacts:    prep.Artifacts(), // nil-safe: nil prep on the canned path
 	}
 	ctx := r.Context()
 	timeout := s.cfg.DefaultTimeout
@@ -283,7 +416,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		status, kind := classify(err)
-		s.logQuery(id, req.Query, backendName, wall, res, err)
+		s.logQuery(id, label, backendName, wall, res, err)
 		if kind == "shed" {
 			// Load shedding is transient back-pressure, not failure: tell
 			// well-behaved clients when to retry.
@@ -306,9 +439,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		maxRows = s.cfg.MaxRows
 	}
 	resp := QueryResponse{
-		ID: id, Query: req.Query, Backend: backendName,
+		ID: id, Query: label, Backend: backendName,
 		Rows: res.Rows(), WallMS: float64(wall) / float64(time.Millisecond),
 		Columns: res.Cols, Explain: explain,
+		TotalRows: res.Rows(), Fingerprint: fingerprint, PlanCache: cacheState,
 	}
 	if secs := wall.Seconds(); secs > 0 {
 		resp.RowsPerSec = float64(res.Stats.Tuples) / secs
@@ -323,6 +457,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		n := res.Rows()
 		if n > maxRows {
 			n = maxRows
+			resp.RowsTruncated = true
 			resp.Truncated = true
 		}
 		resp.Data = make([][]any, n)
@@ -330,12 +465,119 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			resp.Data[i] = renderRow(res.Chunk, i)
 		}
 	}
-	s.logQuery(id, req.Query, backendName, wall, res, nil)
+	s.logQuery(id, label, backendName, wall, res, nil)
 	if err := faultinject.Inject(faultinject.ServeRespond); err != nil {
 		s.failRequest(w, id, http.StatusInternalServerError, "internal", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// acquirePlan leases a cached instance for the statement's fingerprint.
+// Returns (nil, "miss") when the caller must lower a fresh plan, and
+// (nil, "off") when caching is disabled.
+func (s *Server) acquirePlan(stmt *sql.Statement) (*plancache.Prepared, string) {
+	if s.cache == nil {
+		return nil, "off"
+	}
+	if prep := s.cache.Acquire(stmt.Fingerprint); prep != nil {
+		return prep, "hit"
+	}
+	return nil, "miss"
+}
+
+// failSQL writes a parse or bind failure with its source location. Anything
+// else coming out of sql.Compile is an internal error.
+func (s *Server) failSQL(w http.ResponseWriter, id int64, err error) {
+	kind := "internal"
+	status := http.StatusInternalServerError
+	var pe *sql.ParseError
+	var be *sql.BindError
+	switch {
+	case errors.As(err, &pe):
+		kind, status = "parse_error", http.StatusBadRequest
+	case errors.As(err, &be):
+		kind, status = "bind_error", http.StatusBadRequest
+	}
+	s.log.Info("request rejected", "id", id, "kind", kind, "err", err.Error())
+	resp := ErrorResponse{Error: err.Error(), Kind: kind}
+	if pos, ok := sql.ErrorPosition(err); ok {
+		resp.Location = &pos
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) lookupPrepared(handle string) *sql.Statement {
+	s.prepMu.Lock()
+	defer s.prepMu.Unlock()
+	return s.prepared[handle]
+}
+
+// PrepareRequest is the JSON body of POST /prepare.
+type PrepareRequest struct {
+	SQL string `json:"sql"`
+}
+
+// PrepareResponse describes a registered prepared statement.
+type PrepareResponse struct {
+	Handle      string   `json:"handle"`
+	Params      int      `json:"params"`
+	Columns     []string `json:"columns,omitempty"`
+	Fingerprint string   `json:"fingerprint"`
+}
+
+// handlePrepare compiles a statement once and registers it under a handle;
+// later POST /query {"prepared": handle} calls skip parsing and binding, and
+// the fingerprint-keyed plan cache skips lowering and compilation.
+func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	id := s.seq.Add(1)
+	var req PrepareRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		s.failRequest(w, id, http.StatusBadRequest, "bad_request", fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if req.SQL == "" {
+		s.failRequest(w, id, http.StatusBadRequest, "bad_request", errors.New("sql must be set"))
+		return
+	}
+	stmt, err := sql.Compile(s.cat, req.SQL)
+	if err != nil {
+		s.failSQL(w, id, err)
+		return
+	}
+	s.prepMu.Lock()
+	if len(s.prepared) >= s.cfg.MaxPrepared {
+		s.prepMu.Unlock()
+		s.failRequest(w, id, http.StatusInsufficientStorage, "prepared_limit",
+			fmt.Errorf("prepared statement limit (%d) reached; close unused handles", s.cfg.MaxPrepared))
+		return
+	}
+	handle := fmt.Sprintf("p%d", s.prepSeq.Add(1))
+	s.prepared[handle] = stmt
+	s.prepMu.Unlock()
+	s.log.Info("statement prepared", "id", id, "handle", handle, "name", stmt.Name,
+		"fingerprint", stmt.Fingerprint.Hex(), "params", stmt.NumParams())
+	writeJSON(w, http.StatusOK, PrepareResponse{
+		Handle: handle, Params: stmt.NumParams(), Columns: stmt.Columns,
+		Fingerprint: stmt.Fingerprint.Hex(),
+	})
+}
+
+// handleClosePrepared drops a handle. Cached plans for its fingerprint stay in
+// the plan cache (other handles or raw SQL of the same shape still hit them).
+func (s *Server) handleClosePrepared(w http.ResponseWriter, r *http.Request) {
+	handle := r.PathValue("handle")
+	s.prepMu.Lock()
+	_, ok := s.prepared[handle]
+	delete(s.prepared, handle)
+	s.prepMu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{
+			Error: fmt.Sprintf("unknown prepared statement %q", handle), Kind: "unknown_prepared",
+		})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // renderRow converts one result row to JSON scalars, rendering Date columns
@@ -367,7 +609,9 @@ func classify(err error) (int, string) {
 	case errors.Is(err, exec.ErrCanceled):
 		return http.StatusGatewayTimeout, "canceled"
 	case errors.Is(err, exec.ErrMemoryBudget):
-		return http.StatusInternalServerError, "memory_budget"
+		// A budget overrun means this query asked for more memory than its
+		// own cap allows — a client-sized request, not a server fault.
+		return http.StatusRequestEntityTooLarge, "memory_budget"
 	case errors.Is(err, exec.ErrPanic):
 		return http.StatusInternalServerError, "panic"
 	default:
@@ -435,11 +679,29 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleQueries(w http.ResponseWriter, _ *http.Request) {
 	ps := s.pool.Stats()
+	planCache := map[string]any{"enabled": false}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		planCache = map[string]any{
+			"enabled":   true,
+			"entries":   cs.Entries,
+			"bytes":     cs.Bytes,
+			"hits":      cs.Hits,
+			"misses":    cs.Misses,
+			"evictions": cs.Evictions,
+		}
+	}
+	s.prepMu.Lock()
+	nPrepared := len(s.prepared)
+	s.prepMu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"queries":         tpch.Queries,
+		"sql":             "POST /query {\"sql\": \"select ...\"} or POST /prepare then {\"prepared\": handle, \"params\": [...]}",
 		"backends":        []string{"vectorized", "compiling", "rof", "hybrid"},
 		"default_backend": s.cfg.DefaultBackend,
 		"max_rows":        s.cfg.MaxRows,
+		"plan_cache":      planCache,
+		"prepared":        nPrepared,
 		"scheduler": map[string]any{
 			"workers":        ps.Workers,
 			"max_concurrent": ps.MaxConcurrent,

@@ -1,0 +1,159 @@
+package sql
+
+// The AST mirrors the supported grammar one-to-one; every node keeps the
+// position of its first token so bind errors can point into the source.
+
+type expr interface{ pos() Position }
+
+type colRef struct {
+	p           Position
+	Table, Name string // Table is the optional qualifier
+}
+
+type numLit struct {
+	p       Position
+	Text    string
+	IsFloat bool
+	Neg     bool
+}
+
+type strLit struct {
+	p   Position
+	Val string
+}
+
+// dateLit is DATE 'YYYY-MM-DD'.
+type dateLit struct {
+	p   Position
+	Val string
+}
+
+// placeholder is a positional ? parameter; N is its 0-based index in text
+// order.
+type placeholder struct {
+	p Position
+	N int
+}
+
+type binExpr struct {
+	p    Position
+	Op   string // + - * /
+	L, R expr
+}
+
+type cmpExpr struct {
+	p    Position
+	Op   string // = <> < <= > >=
+	L, R expr
+}
+
+type logicExpr struct {
+	p    Position
+	Op   string // AND OR
+	L, R expr
+}
+
+type notExpr struct {
+	p Position
+	E expr
+}
+
+type betweenExpr struct {
+	p         Position
+	E, Lo, Hi expr
+}
+
+type likeExpr struct {
+	p       Position
+	E       expr
+	Pattern expr // strLit or placeholder
+	Negate  bool
+}
+
+type inExpr struct {
+	p       Position
+	E       expr
+	Members []string
+	Negate  bool
+}
+
+type existsExpr struct {
+	p      Position
+	Sel    *selectStmt
+	Negate bool
+}
+
+type caseExpr struct {
+	p                Position
+	Cond, Then, Else expr
+}
+
+// callExpr is an aggregate function call (sum/count/avg/min/max).
+type callExpr struct {
+	p    Position
+	Fn   string // lower-cased
+	Star bool   // count(*)
+	Arg  expr   // nil when Star
+}
+
+func (e *colRef) pos() Position      { return e.p }
+func (e *numLit) pos() Position      { return e.p }
+func (e *strLit) pos() Position      { return e.p }
+func (e *dateLit) pos() Position     { return e.p }
+func (e *placeholder) pos() Position { return e.p }
+func (e *binExpr) pos() Position     { return e.p }
+func (e *cmpExpr) pos() Position     { return e.p }
+func (e *logicExpr) pos() Position   { return e.p }
+func (e *notExpr) pos() Position     { return e.p }
+func (e *betweenExpr) pos() Position { return e.p }
+func (e *likeExpr) pos() Position    { return e.p }
+func (e *inExpr) pos() Position      { return e.p }
+func (e *existsExpr) pos() Position  { return e.p }
+func (e *caseExpr) pos() Position    { return e.p }
+func (e *callExpr) pos() Position    { return e.p }
+
+type tableRef interface{ tpos() Position }
+
+type baseTable struct {
+	p           Position
+	Name, Alias string
+}
+
+type derivedTable struct {
+	p     Position
+	Sel   *selectStmt
+	Alias string
+}
+
+type joinExpr struct {
+	p     Position
+	L, R  tableRef
+	Outer bool
+	On    expr
+}
+
+func (t *baseTable) tpos() Position    { return t.p }
+func (t *derivedTable) tpos() Position { return t.p }
+func (t *joinExpr) tpos() Position     { return t.p }
+
+type selectItem struct {
+	p     Position
+	E     expr
+	Alias string
+}
+
+type orderKey struct {
+	p    Position
+	Col  string
+	Desc bool
+}
+
+type selectStmt struct {
+	p       Position
+	Items   []selectItem
+	From    tableRef
+	Where   expr // nil when absent
+	GroupBy []colRef
+	OrderBy []orderKey
+	Limit   int // 0 = none
+}

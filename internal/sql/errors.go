@@ -1,0 +1,43 @@
+package sql
+
+import "fmt"
+
+// Position locates an error in the source text (1-based line and column).
+type Position struct {
+	Line int `json:"line"`
+	Col  int `json:"col"`
+}
+
+func (p Position) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// ParseError is a lexical or syntactic error with a source position.
+type ParseError struct {
+	Pos Position
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sql: parse error at %s: %s", e.Pos, e.Msg)
+}
+
+// BindError is a semantic error (unknown table or column, type mismatch,
+// unsupported shape) with the source position of the offending construct.
+type BindError struct {
+	Pos Position
+	Msg string
+}
+
+func (e *BindError) Error() string {
+	return fmt.Sprintf("sql: bind error at %s: %s", e.Pos, e.Msg)
+}
+
+// ErrorPosition extracts the source position from a ParseError or BindError.
+func ErrorPosition(err error) (Position, bool) {
+	switch e := err.(type) {
+	case *ParseError:
+		return e.Pos, true
+	case *BindError:
+		return e.Pos, true
+	}
+	return Position{}, false
+}

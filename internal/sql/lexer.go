@@ -1,0 +1,147 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp
+	tokPlaceholder
+)
+
+type token struct {
+	kind      tokKind
+	text      string // idents keep original case; ops hold their symbol
+	isFloat   bool   // numbers: contains a decimal point
+	line, col int
+}
+
+func (t token) pos() Position { return Position{Line: t.line, Col: t.col} }
+
+// keywords are reserved words the parser recognizes; matching is
+// case-insensitive. An identifier position never accepts a keyword.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "LIMIT": true, "AS": true, "AND": true, "OR": true,
+	"NOT": true, "IN": true, "LIKE": true, "BETWEEN": true, "EXISTS": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"JOIN": true, "LEFT": true, "OUTER": true, "ON": true, "DESC": true,
+	"ASC": true, "DATE": true,
+}
+
+func (t token) isKw(kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+// lex tokenizes src, tracking 1-based line/column positions. Strings use
+// single quotes with ” as the escape; -- starts a comment to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	i := 0
+	adv := func(n int) {
+		for k := 0; k < n; k++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			adv(1)
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				adv(1)
+			}
+		case isIdentStart(c):
+			l, cl := line, col
+			j := i
+			for j < len(src) && isIdentPart(src[j]) {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[i:j], line: l, col: cl})
+			adv(j - i)
+		case c >= '0' && c <= '9':
+			l, cl := line, col
+			j := i
+			isFloat := false
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.') {
+				if src[j] == '.' {
+					if isFloat {
+						return nil, &ParseError{Pos: Position{l, cl}, Msg: "malformed number"}
+					}
+					isFloat = true
+				}
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[i:j], isFloat: isFloat, line: l, col: cl})
+			adv(j - i)
+		case c == '\'':
+			l, cl := line, col
+			var b strings.Builder
+			adv(1)
+			for {
+				if i >= len(src) {
+					return nil, &ParseError{Pos: Position{l, cl}, Msg: "unterminated string literal"}
+				}
+				if src[i] == '\'' {
+					if i+1 < len(src) && src[i+1] == '\'' {
+						b.WriteByte('\'')
+						adv(2)
+						continue
+					}
+					adv(1)
+					break
+				}
+				b.WriteByte(src[i])
+				adv(1)
+			}
+			toks = append(toks, token{kind: tokString, text: b.String(), line: l, col: cl})
+		case c == '?':
+			toks = append(toks, token{kind: tokPlaceholder, text: "?", line: line, col: col})
+			adv(1)
+		default:
+			l, cl := line, col
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=":
+				toks = append(toks, token{kind: tokOp, text: two, line: l, col: cl})
+				adv(2)
+				continue
+			}
+			switch c {
+			case '(', ')', ',', '.', '+', '-', '*', '/', '=', '<', '>', ';':
+				toks = append(toks, token{kind: tokOp, text: string(c), line: l, col: cl})
+				adv(1)
+			default:
+				return nil, &ParseError{Pos: Position{l, cl}, Msg: fmt.Sprintf("unexpected character %q", string(c))}
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, text: "", line: line, col: col})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

@@ -1,0 +1,610 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parser is a recursive-descent parser over the token slice. It carries the
+// running placeholder count so ? parameters number positionally.
+type parser struct {
+	toks    []token
+	pos     int
+	nparams int
+}
+
+// parseStatement parses one SELECT statement (optionally ;-terminated) and
+// returns it with the number of ? placeholders seen.
+func parseStatement(src string) (*selectStmt, int, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	p := &parser{toks: toks}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, 0, err
+	}
+	if p.cur().kind == tokOp && p.cur().text == ";" {
+		p.advance()
+	}
+	if p.cur().kind != tokEOF {
+		return nil, 0, p.errf(p.cur(), "unexpected %s after statement", describe(p.cur()))
+	}
+	return sel, p.nparams, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) peek() token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return &ParseError{Pos: t.pos(), Msg: fmt.Sprintf(format, args...)}
+}
+
+func describe(t token) string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("string %q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+func (p *parser) acceptKw(kw string) bool {
+	if p.cur().isKw(kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return p.errf(p.cur(), "expected %s, found %s", kw, describe(p.cur()))
+	}
+	return nil
+}
+
+func (p *parser) acceptOp(op string) bool {
+	if p.cur().kind == tokOp && p.cur().text == op {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return p.errf(p.cur(), "expected %q, found %s", op, describe(p.cur()))
+	}
+	return nil
+}
+
+// expectIdent consumes a non-keyword identifier.
+func (p *parser) expectIdent(what string) (token, error) {
+	t := p.cur()
+	if t.kind != tokIdent || keywords[strings.ToUpper(t.text)] {
+		return t, p.errf(t, "expected %s, found %s", what, describe(t))
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) parseSelect() (*selectStmt, error) {
+	start := p.cur()
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &selectStmt{p: start.pos()}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseTableExpr()
+	if err != nil {
+		return nil, err
+	}
+	sel.From = from
+	if p.acceptKw("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = w
+	}
+	if p.acceptKw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseColName()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, *c)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.parseColName()
+			if err != nil {
+				return nil, err
+			}
+			k := orderKey{p: c.p, Col: c.Name}
+			if p.acceptKw("DESC") {
+				k.Desc = true
+			} else {
+				p.acceptKw("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, k)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("LIMIT") {
+		t := p.cur()
+		if t.kind != tokNumber || t.isFloat {
+			return nil, p.errf(t, "expected integer after LIMIT, found %s", describe(t))
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n <= 0 {
+			return nil, p.errf(t, "LIMIT must be a positive integer")
+		}
+		p.advance()
+		sel.Limit = n
+	}
+	return sel, nil
+}
+
+func (p *parser) parseSelectItem() (selectItem, error) {
+	start := p.cur()
+	e, err := p.parseExpr()
+	if err != nil {
+		return selectItem{}, err
+	}
+	item := selectItem{p: start.pos(), E: e}
+	if p.acceptKw("AS") {
+		t, err := p.expectIdent("alias")
+		if err != nil {
+			return selectItem{}, err
+		}
+		item.Alias = t.text
+	} else if t := p.cur(); t.kind == tokIdent && !keywords[strings.ToUpper(t.text)] {
+		p.advance()
+		item.Alias = t.text
+	}
+	return item, nil
+}
+
+// parseColName parses ident[.ident] as a column reference.
+func (p *parser) parseColName() (*colRef, error) {
+	t, err := p.expectIdent("column name")
+	if err != nil {
+		return nil, err
+	}
+	c := &colRef{p: t.pos(), Name: t.text}
+	if p.acceptOp(".") {
+		t2, err := p.expectIdent("column name")
+		if err != nil {
+			return nil, err
+		}
+		c.Table, c.Name = t.text, t2.text
+	}
+	return c, nil
+}
+
+func (p *parser) parseTableExpr() (tableRef, error) {
+	left, err := p.parseTablePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		start := p.cur()
+		outer := false
+		switch {
+		case p.cur().isKw("JOIN"):
+			p.advance()
+		case p.cur().isKw("LEFT"):
+			p.advance()
+			p.acceptKw("OUTER")
+			if err := p.expectKw("JOIN"); err != nil {
+				return nil, err
+			}
+			outer = true
+		default:
+			return left, nil
+		}
+		right, err := p.parseTablePrimary()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("ON"); err != nil {
+			return nil, err
+		}
+		on, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &joinExpr{p: start.pos(), L: left, R: right, Outer: outer, On: on}
+	}
+}
+
+func (p *parser) parseTablePrimary() (tableRef, error) {
+	start := p.cur()
+	if p.acceptOp("(") {
+		if p.cur().isKw("SELECT") {
+			sel, err := p.parseSelect()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			p.acceptKw("AS")
+			t, err := p.expectIdent("derived table alias")
+			if err != nil {
+				return nil, err
+			}
+			return &derivedTable{p: start.pos(), Sel: sel, Alias: t.text}, nil
+		}
+		inner, err := p.parseTableExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	t, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	bt := &baseTable{p: t.pos(), Name: t.text, Alias: t.text}
+	if p.acceptKw("AS") {
+		a, err := p.expectIdent("table alias")
+		if err != nil {
+			return nil, err
+		}
+		bt.Alias = a.text
+	} else if a := p.cur(); a.kind == tokIdent && !keywords[strings.ToUpper(a.text)] {
+		p.advance()
+		bt.Alias = a.text
+	}
+	return bt, nil
+}
+
+// Expression grammar, loosest to tightest:
+// or > and > not > predicate (cmp/between/like/in/exists) > add > mul > unary.
+
+func (p *parser) parseExpr() (expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().isKw("OR") {
+		t := p.advance()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &logicExpr{p: t.pos(), Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().isKw("AND") {
+		t := p.advance()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &logicExpr{p: t.pos(), Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (expr, error) {
+	if p.cur().isKw("NOT") {
+		t := p.advance()
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		if ex, ok := e.(*existsExpr); ok {
+			ex.Negate = true
+			return ex, nil
+		}
+		return &notExpr{p: t.pos(), E: e}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (expr, error) {
+	if p.cur().isKw("EXISTS") {
+		t := p.advance()
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &existsExpr{p: t.pos(), Sel: sel}, nil
+	}
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.cur(); t.kind == tokOp {
+		switch t.text {
+		case "=", "<", "<=", ">", ">=", "<>", "!=":
+			p.advance()
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			op := t.text
+			if op == "!=" {
+				op = "<>"
+			}
+			return &cmpExpr{p: t.pos(), Op: op, L: l, R: r}, nil
+		}
+	}
+	negate := false
+	notTok := p.cur()
+	if p.cur().isKw("NOT") && (p.peek().isKw("LIKE") || p.peek().isKw("BETWEEN") || p.peek().isKw("IN")) {
+		p.advance()
+		negate = true
+	}
+	switch {
+	case p.cur().isKw("BETWEEN"):
+		t := p.advance()
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		var e expr = &betweenExpr{p: t.pos(), E: l, Lo: lo, Hi: hi}
+		if negate {
+			e = &notExpr{p: notTok.pos(), E: e}
+		}
+		return e, nil
+	case p.cur().isKw("LIKE"):
+		t := p.advance()
+		pt := p.cur()
+		var pattern expr
+		switch pt.kind {
+		case tokString:
+			p.advance()
+			pattern = &strLit{p: pt.pos(), Val: pt.text}
+		case tokPlaceholder:
+			p.advance()
+			pattern = &placeholder{p: pt.pos(), N: p.nparams}
+			p.nparams++
+		default:
+			return nil, p.errf(pt, "LIKE pattern must be a string literal or ?, found %s", describe(pt))
+		}
+		return &likeExpr{p: t.pos(), E: l, Pattern: pattern, Negate: negate}, nil
+	case p.cur().isKw("IN"):
+		t := p.advance()
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var members []string
+		for {
+			mt := p.cur()
+			if mt.kind != tokString {
+				return nil, p.errf(mt, "IN list supports string literals only, found %s", describe(mt))
+			}
+			p.advance()
+			members = append(members, mt.text)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		return &inExpr{p: t.pos(), E: l, Members: members, Negate: negate}, nil
+	}
+	if negate {
+		return nil, p.errf(notTok, "unexpected NOT")
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for t := p.cur(); t.kind == tokOp && (t.text == "+" || t.text == "-"); t = p.cur() {
+		p.advance()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &binExpr{p: t.pos(), Op: t.text, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for t := p.cur(); t.kind == tokOp && (t.text == "*" || t.text == "/"); t = p.cur() {
+		p.advance()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &binExpr{p: t.pos(), Op: t.text, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	if t := p.cur(); t.kind == tokOp && t.text == "-" {
+		p.advance()
+		n := p.cur()
+		if n.kind != tokNumber {
+			return nil, p.errf(t, "unary minus applies to numeric literals only")
+		}
+		p.advance()
+		return &numLit{p: t.pos(), Text: n.text, IsFloat: n.isFloat, Neg: true}, nil
+	}
+	return p.parsePrimary()
+}
+
+var aggFns = map[string]bool{"sum": true, "count": true, "avg": true, "min": true, "max": true}
+
+func (p *parser) parsePrimary() (expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		return &numLit{p: t.pos(), Text: t.text, IsFloat: t.isFloat}, nil
+	case tokString:
+		p.advance()
+		return &strLit{p: t.pos(), Val: t.text}, nil
+	case tokPlaceholder:
+		p.advance()
+		ph := &placeholder{p: t.pos(), N: p.nparams}
+		p.nparams++
+		return ph, nil
+	case tokOp:
+		if t.text == "(" {
+			p.advance()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		if t.text == "*" {
+			return nil, p.errf(t, "'*' is only supported inside count(*)")
+		}
+	case tokIdent:
+		if t.isKw("DATE") {
+			p.advance()
+			st := p.cur()
+			if st.kind != tokString {
+				return nil, p.errf(st, "expected date string after DATE, found %s", describe(st))
+			}
+			p.advance()
+			return &dateLit{p: t.pos(), Val: st.text}, nil
+		}
+		if t.isKw("CASE") {
+			return p.parseCase()
+		}
+		if keywords[strings.ToUpper(t.text)] {
+			return nil, p.errf(t, "unexpected keyword %s", describe(t))
+		}
+		if p.peek().kind == tokOp && p.peek().text == "(" {
+			fn := strings.ToLower(t.text)
+			if !aggFns[fn] {
+				return nil, p.errf(t, "unknown function %q", t.text)
+			}
+			p.advance()
+			p.advance() // (
+			if p.acceptOp("*") {
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				if fn != "count" {
+					return nil, p.errf(t, "'*' argument requires count")
+				}
+				return &callExpr{p: t.pos(), Fn: fn, Star: true}, nil
+			}
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return &callExpr{p: t.pos(), Fn: fn, Arg: arg}, nil
+		}
+		return p.parseColName()
+	}
+	return nil, p.errf(t, "unexpected %s", describe(t))
+}
+
+func (p *parser) parseCase() (expr, error) {
+	t := p.advance() // CASE
+	if err := p.expectKw("WHEN"); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("THEN"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().isKw("WHEN") {
+		return nil, p.errf(p.cur(), "multiple WHEN arms are not supported")
+	}
+	if err := p.expectKw("ELSE"); err != nil {
+		return nil, err
+	}
+	els, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("END"); err != nil {
+		return nil, err
+	}
+	return &caseExpr{p: t.pos(), Cond: cond, Then: then, Else: els}, nil
+}

@@ -1,0 +1,177 @@
+// Package sql is the text frontend: a hand-written lexer and
+// recursive-descent parser for the SELECT subset the engine executes, and a
+// binder that lowers the AST onto internal/algebra trees.
+//
+// Every literal in a statement — not just ? placeholders — binds as a
+// parameter ref, so the algebra tree fingerprints by shape alone
+// (algebra.Fingerprint masks ref-tagged values). Two queries differing only
+// in literals share a fingerprint, and therefore share a cached lowered plan
+// and its compiled artifacts; BindArgs patches the concrete values into the
+// plan's runtime states before each execution.
+package sql
+
+import (
+	"fmt"
+	"math"
+
+	"inkfuse/internal/algebra"
+	"inkfuse/internal/core"
+	"inkfuse/internal/storage"
+	"inkfuse/internal/types"
+)
+
+// Arg is one parameter slot of a compiled statement, in ref order (ref =
+// index+1). Literal args carry their value; placeholder args (FromParam >= 0)
+// take it from the execution's parameter list.
+type Arg struct {
+	Kind      types.Kind
+	IsLike    bool
+	IsList    bool
+	Const     algebra.Const // scalar literals (FromParam < 0, !IsLike, !IsList)
+	Pattern   string        // LIKE literal pattern
+	List      []string      // IN (...) members
+	FromParam int           // 0-based ? index, or -1 for an inline literal
+}
+
+// Statement is a compiled SQL text: the bound algebra tree plus everything
+// needed to key the plan cache and patch parameters.
+type Statement struct {
+	SQL         string
+	Name        string // stable plan name derived from the fingerprint
+	Root        algebra.Node
+	Fingerprint core.Fingerprint
+	Columns     []string     // output column names in select-list order
+	Args        []Arg        // per ref, ref = index+1
+	ParamKinds  []types.Kind // per ? placeholder, in text order
+}
+
+// NumParams reports how many ? placeholders the statement takes.
+func (s *Statement) NumParams() int { return len(s.ParamKinds) }
+
+// Compile parses and binds text against the catalog. Errors are *ParseError
+// or *BindError, both carrying a source Position.
+func Compile(cat *storage.Catalog, text string) (*Statement, error) {
+	sel, nparams, err := parseStatement(text)
+	if err != nil {
+		return nil, err
+	}
+	b := &binder{cat: cat, paramKinds: make([]types.Kind, nparams)}
+	root, cols, err := b.bindSelect(sel, true)
+	if err != nil {
+		return nil, err
+	}
+	for i, k := range b.paramKinds {
+		if k == types.Invalid {
+			return nil, &BindError{Pos: sel.p, Msg: fmt.Sprintf("parameter %d is never used", i+1)}
+		}
+	}
+	fp, err := algebra.Fingerprint(root)
+	if err != nil {
+		return nil, &BindError{Pos: sel.p, Msg: err.Error()}
+	}
+	return &Statement{
+		SQL:         text,
+		Name:        "sql-" + fp.Hex()[:8],
+		Root:        root,
+		Fingerprint: fp,
+		Columns:     cols,
+		Args:        b.args,
+		ParamKinds:  b.paramKinds,
+	}, nil
+}
+
+// BindArgs patches the statement's literal and placeholder values into a
+// lowered plan's parameter states. vals must have NumParams entries; each is
+// coerced from its JSON-decoded representation to the kind the binder
+// assigned. Refs the lowering pruned (the expression holding them was
+// unreferenced) are skipped.
+func (s *Statement) BindArgs(p *algebra.Params, vals []any) error {
+	if len(vals) != len(s.ParamKinds) {
+		return fmt.Errorf("sql: statement takes %d parameters, got %d", len(s.ParamKinds), len(vals))
+	}
+	for i, a := range s.Args {
+		ref := i + 1
+		if !p.HasRef(ref) {
+			continue
+		}
+		switch {
+		case a.IsList:
+			if err := p.SetInList(ref, a.List); err != nil {
+				return err
+			}
+		case a.IsLike:
+			pattern := a.Pattern
+			if a.FromParam >= 0 {
+				c, err := CoerceValue(types.String, vals[a.FromParam])
+				if err != nil {
+					return fmt.Errorf("sql: parameter %d: %w", a.FromParam+1, err)
+				}
+				pattern = c.Str
+			}
+			if err := p.SetLike(ref, pattern); err != nil {
+				return err
+			}
+		default:
+			c := a.Const
+			if a.FromParam >= 0 {
+				var err error
+				c, err = CoerceValue(a.Kind, vals[a.FromParam])
+				if err != nil {
+					return fmt.Errorf("sql: parameter %d: %w", a.FromParam+1, err)
+				}
+			}
+			if err := p.SetConst(ref, c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CoerceValue converts a JSON-decoded value (float64, string, bool) to a
+// constant of kind k. Dates accept YYYY-MM-DD strings.
+func CoerceValue(k types.Kind, v any) (algebra.Const, error) {
+	switch k {
+	case types.Bool:
+		b, ok := v.(bool)
+		if !ok {
+			return algebra.Const{}, fmt.Errorf("want bool, got %T", v)
+		}
+		return algebra.Const{K: types.Bool, B: b}, nil
+	case types.Int32:
+		f, ok := v.(float64)
+		if !ok || f != math.Trunc(f) || f < math.MinInt32 || f > math.MaxInt32 {
+			return algebra.Const{}, fmt.Errorf("want int32, got %v (%T)", v, v)
+		}
+		return algebra.I32(int32(f)), nil
+	case types.Int64:
+		f, ok := v.(float64)
+		if !ok || f != math.Trunc(f) {
+			return algebra.Const{}, fmt.Errorf("want int64, got %v (%T)", v, v)
+		}
+		return algebra.I64(int64(f)), nil
+	case types.Float64:
+		f, ok := v.(float64)
+		if !ok {
+			return algebra.Const{}, fmt.Errorf("want float64, got %T", v)
+		}
+		return algebra.F64(f), nil
+	case types.String:
+		s, ok := v.(string)
+		if !ok {
+			return algebra.Const{}, fmt.Errorf("want string, got %T", v)
+		}
+		return algebra.Str(s), nil
+	case types.Date:
+		s, ok := v.(string)
+		if !ok {
+			return algebra.Const{}, fmt.Errorf("want date string, got %T", v)
+		}
+		d, err := types.ParseDate(s)
+		if err != nil {
+			return algebra.Const{}, fmt.Errorf("bad date %q (want YYYY-MM-DD)", s)
+		}
+		return algebra.Const{K: types.Date, I32: d}, nil
+	}
+	return algebra.Const{}, fmt.Errorf("unsupported parameter kind %v", k)
+}

@@ -6,6 +6,8 @@ import (
 	"inkfuse/internal/exec"
 	"inkfuse/internal/ir"
 	"inkfuse/internal/metrics"
+	"inkfuse/internal/plancache"
+	"inkfuse/internal/sql"
 	"inkfuse/internal/stats"
 	"inkfuse/internal/storage"
 	"inkfuse/internal/trace"
@@ -207,3 +209,32 @@ var (
 // ParseBackend converts a backend name ("vectorized", "compiling", "rof",
 // "hybrid") to a Backend.
 func ParseBackend(s string) (Backend, error) { return exec.ParseBackend(s) }
+
+// SQL text frontend (see CompileSQL / RunSQL in inkfuse.go).
+type (
+	// SQLStatement is a parsed, bound SELECT: relational tree, output
+	// columns, parameters and the plan-cache fingerprint.
+	SQLStatement = sql.Statement
+	// SQLPosition is a 1-based line/column location in SQL source text.
+	SQLPosition = sql.Position
+	// SQLParseError is a syntax error with its source position.
+	SQLParseError = sql.ParseError
+	// SQLBindError is a semantic error (unknown column, kind mismatch, …)
+	// with its source position.
+	SQLBindError = sql.BindError
+	// PlanCache is a fingerprint-keyed LRU of lowered plans and their
+	// compiled artifacts (see internal/plancache for the lease protocol).
+	PlanCache = plancache.Cache
+	// PreparedPlan is one cached plan instance leased from a PlanCache.
+	PreparedPlan = plancache.Prepared
+	// PlanCacheConfig bounds a PlanCache.
+	PlanCacheConfig = plancache.Config
+)
+
+// SQLErrorPosition extracts the source location from a CompileSQL error
+// (false for errors that carry none).
+func SQLErrorPosition(err error) (SQLPosition, bool) { return sql.ErrorPosition(err) }
+
+// NewPlanCache builds a plan/artifact cache; zero config uses the defaults
+// (64 entries, 64 MiB artifact budget).
+func NewPlanCache(cfg PlanCacheConfig) *PlanCache { return plancache.New(cfg) }

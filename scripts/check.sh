@@ -67,9 +67,31 @@ echo "$metrics" | grep -q '^inkfuse_queries_succeeded [1-9]' \
     || { echo "/metrics query counter did not advance" >&2; exit 1; }
 echo "$metrics" | grep -q 'inkfuse_query_seconds_bucket{backend="vectorized",le="+Inf"} [1-9]' \
     || { echo "/metrics latency histogram did not advance" >&2; exit 1; }
+
+# SQL path: prepare a parameterized statement, execute it twice with
+# different parameter values, and assert the second run hit the plan cache
+# (the /metrics plancache hit counter must be nonzero).
+prep=$(curl -sf "http://$addr/prepare" \
+    -d '{"sql":"select count(*) as n from lineitem where l_quantity < ?"}')
+handle=$(echo "$prep" | sed -n 's/.*"handle": *"\([^"]*\)".*/\1/p')
+[ -n "$handle" ] || { echo "prepare response malformed: $prep" >&2; exit 1; }
+body=$(curl -sf "http://$addr/query" -d '{"prepared":"'"$handle"'","params":[30]}')
+echo "$body" | grep -q '"plan_cache": *"miss"' \
+    || { echo "first prepared execution should miss the plan cache: $body" >&2; exit 1; }
+body=$(curl -sf "http://$addr/query" -d '{"prepared":"'"$handle"'","params":[11]}')
+echo "$body" | grep -q '"plan_cache": *"hit"' \
+    || { echo "second prepared execution should hit the plan cache: $body" >&2; exit 1; }
+curl -sf "http://$addr/metrics" | grep -q '^inkfuse_plancache_hits [1-9]' \
+    || { echo "/metrics plancache hit counter did not advance" >&2; exit 1; }
 kill "$serve_pid"
 trap - EXIT
 echo "inkserve smoke test OK"
+
+# Bounded parser fuzz: a few hundred mutations over the corpus seeds — the
+# frontend must never panic and every failure must carry a source position.
+echo "parser fuzz smoke..."
+go test -run XXX -fuzz FuzzParseSQL -fuzztime 300x ./internal/sql/ >/dev/null
+echo "parser fuzz smoke OK"
 
 # Concurrent-load smoke: an admission-controlled server under 16 parallel
 # clients must answer every request with 200 (served), 429 (shed) or 504
