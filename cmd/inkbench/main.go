@@ -33,6 +33,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -56,6 +57,7 @@ func main() {
 	traceFlag := flag.Bool("trace", false, "with -explain: also dump the full per-worker execution trace")
 	backend := flag.String("backend", "hybrid", "backend for -explain: vectorized | compiling | rof | hybrid")
 	metricsFlag := flag.Bool("metrics", false, "print the engine metrics registry before exiting")
+	querylogFlag := flag.Bool("querylog", false, "with -sql or -explain: emit the canonical query-log event (JSON, stderr) for each query run")
 	jsonFlag := flag.Bool("json", false, "JSON mode: measure every -queries query on all four backends and write the report to stdout, then exit")
 	concurrency := flag.Int("concurrency", 0, "concurrency mode: measure throughput/p99 at doubling client counts up to N through the admission-controlled scheduler (0 = off); standalone or added to -json")
 	concRequests := flag.Int("conc-requests", 0, "requests per concurrency level (0 = 4 per client, min 16)")
@@ -104,8 +106,13 @@ func main() {
 		return
 	}
 
+	var qlog *slog.Logger
+	if *querylogFlag {
+		qlog = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+
 	if *explain {
-		if err := explainQueries(cfg, *backend, *traceFlag); err != nil {
+		if err := explainQueries(cfg, *backend, *traceFlag, qlog); err != nil {
 			fmt.Fprintf(os.Stderr, "inkbench: explain: %v\n", err)
 			os.Exit(1)
 		}
@@ -116,7 +123,7 @@ func main() {
 	}
 
 	if *sqlFlag {
-		if err := sqlQueries(cfg, *backend); err != nil {
+		if err := sqlQueries(cfg, *backend, qlog); err != nil {
 			fmt.Fprintf(os.Stderr, "inkbench: sql: %v\n", err)
 			os.Exit(1)
 		}
@@ -221,7 +228,39 @@ func main() {
 // sqlQueries runs each configured query from its SQL text through the text
 // frontend — the same execution path inkserve's {"sql": ...} requests take —
 // and prints one line per query with the plan-cache fingerprint.
-func sqlQueries(cfg benchkit.Config, backendName string) error {
+// emitQueryEvent writes the canonical wide event for one completed query —
+// the same shape inkserve logs — so bench runs and servers share log tooling.
+func emitQueryEvent(logger *slog.Logger, query, source, backend, fingerprint string, res *inkfuse.Result, err error) {
+	if logger == nil {
+		return
+	}
+	e := &inkfuse.QueryEvent{
+		Query: query, Source: source, Backend: backend, Fingerprint: fingerprint,
+		Outcome: "ok",
+	}
+	if err != nil {
+		e.Outcome = "error"
+		e.Error = err.Error()
+	}
+	if res != nil {
+		e.ID = res.QueryID
+		e.Rows = res.Rows()
+		e.Tuples = res.Stats.Tuples
+		e.Wall = res.Wall
+		e.QueueWait = res.QueueWait
+		e.CompileTime = res.Stats.CompileTime
+		e.CompileWait = res.Stats.CompileWait
+		e.HTLocalHits = res.Stats.HTLocalHits
+		e.HTSpills = res.Stats.HTSpills
+		e.HTBloomSkips = res.Stats.HTBloomSkips
+		e.MorselsCompiled = res.Stats.MorselsCompiled
+		e.MorselsVectorized = res.Stats.MorselsVectorized
+		e.Degraded = len(res.Warnings) > 0 || res.Stats.CompileErrors > 0
+	}
+	e.Emit(logger)
+}
+
+func sqlQueries(cfg benchkit.Config, backendName string, qlog *slog.Logger) error {
 	be, err := inkfuse.ParseBackend(backendName)
 	if err != nil {
 		return err
@@ -242,6 +281,7 @@ func sqlQueries(cfg benchkit.Config, backendName string) error {
 			Workers:      cfg.Workers,
 			MemoryBudget: cfg.MemBudget,
 		})
+		emitQueryEvent(qlog, q, "sql", backendName, stmt.Fingerprint.Hex(), res, err)
 		if err != nil {
 			return fmt.Errorf("%s: %w", q, err)
 		}
@@ -254,7 +294,7 @@ func sqlQueries(cfg benchkit.Config, backendName string) error {
 
 // explainQueries runs each configured query once with tracing enabled and
 // prints the EXPLAIN ANALYZE rendering (plus the raw trace with -trace).
-func explainQueries(cfg benchkit.Config, backendName string, dumpTrace bool) error {
+func explainQueries(cfg benchkit.Config, backendName string, dumpTrace bool, qlog *slog.Logger) error {
 	be, err := inkfuse.ParseBackend(backendName)
 	if err != nil {
 		return err
@@ -270,6 +310,7 @@ func explainQueries(cfg benchkit.Config, backendName string, dumpTrace bool) err
 			Workers:      cfg.Workers,
 			MemoryBudget: cfg.MemBudget,
 		})
+		emitQueryEvent(qlog, q, "plan", backendName, "", res, err)
 		if out != "" {
 			fmt.Print(out)
 		}

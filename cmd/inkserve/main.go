@@ -25,6 +25,7 @@ import (
 	"syscall"
 	"time"
 
+	"inkfuse/internal/flight"
 	"inkfuse/internal/serve"
 )
 
@@ -38,6 +39,11 @@ func main() {
 		slow    = flag.Duration("slow", 500*time.Millisecond, "slow-query log threshold (0 = off)")
 		maxRows = flag.Int("max-rows", 100, "max result rows inlined into a response")
 		jsonLog = flag.Bool("log-json", false, "write the query log as JSON lines")
+
+		logSample = flag.Float64("log-sample", 1,
+			"fraction of successful queries kept in the canonical query log (errors, shed, slow and degraded queries always log)")
+		spanFile = flag.String("span-file", "",
+			"append one OTLP JSON span document per query to this file (enables tracing on every query)")
 
 		engineWorkers = flag.Int("engine-workers", 0, "engine-wide scheduler pool size (0 = max(2, GOMAXPROCS))")
 		maxConcurrent = flag.Int("max-concurrent", 0, "max concurrently executing queries (0 = unlimited)")
@@ -57,8 +63,19 @@ func main() {
 	}
 	logger := slog.New(handler)
 
+	var spanSink *os.File
+	if *spanFile != "" {
+		var err error
+		spanSink, err = os.OpenFile(*spanFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			logger.Error("opening span file", "path", *spanFile, "err", err)
+			os.Exit(1)
+		}
+		defer spanSink.Close()
+	}
+
 	logger.Info("generating catalog", "sf", *sf, "seed", *seed)
-	srv := serve.New(serve.Config{
+	cfg := serve.Config{
 		SF: *sf, Seed: *seed,
 		DefaultBackend: *backend,
 		DefaultTimeout: *timeout,
@@ -73,8 +90,18 @@ func main() {
 		PlanCacheBytes:   *planCacheBytes,
 		MaxPrepared:      *maxPrepared,
 
-		Logger: logger,
-	})
+		Logger:        logger,
+		LogSampleRate: *logSample,
+	}
+	if *logSample <= 0 {
+		// The flag means "drop all plain successes"; the Config zero value
+		// means "sampling off", so translate explicitly.
+		cfg.LogSampleRate = -1
+	}
+	if spanSink != nil {
+		cfg.SpanSink = spanSink
+	}
+	srv := serve.New(cfg)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -90,26 +117,41 @@ func main() {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	select {
-	case err := <-done:
-		logger.Error("server stopped", "err", err)
-		os.Exit(1)
-	case s := <-sig:
-		logger.Info("shutting down", "signal", s.String(), "drain", *drain)
-		// Two-phase graceful shutdown: first drain the engine (admissions
-		// stop, new queries get 503 "draining", in-flight queries run until
-		// the drain deadline and are then canceled), then close the HTTP side
-		// — by then every query handler has returned or is unwinding.
-		drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drain)
-		cs := srv.Close(drainCtx)
-		cancelDrain()
-		logger.Info("engine drained",
-			"drained", cs.Drained, "canceled", cs.Canceled, "shed", cs.Shed)
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		if err := hs.Shutdown(ctx); err != nil {
-			logger.Error("shutdown failed", "err", err)
+	// SIGQUIT dumps the engine flight recorder to stderr and keeps serving —
+	// the "what is the engine doing right now" snapshot for a wedged server.
+	// (Registering the handler replaces the runtime's kill-with-stacks
+	// default; use SIGABRT for that.)
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+
+	var shutdown os.Signal
+wait:
+	for {
+		select {
+		case err := <-done:
+			logger.Error("server stopped", "err", err)
 			os.Exit(1)
+		case <-quit:
+			fmt.Fprintln(os.Stderr, "inkserve: SIGQUIT flight-recorder dump")
+			flight.Default.Dump(os.Stderr)
+		case shutdown = <-sig:
+			break wait
 		}
+	}
+	logger.Info("shutting down", "signal", shutdown.String(), "drain", *drain)
+	// Two-phase graceful shutdown: first drain the engine (admissions
+	// stop, new queries get 503 "draining", in-flight queries run until
+	// the drain deadline and are then canceled), then close the HTTP side
+	// — by then every query handler has returned or is unwinding.
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drain)
+	cs := srv.Close(drainCtx)
+	cancelDrain()
+	logger.Info("engine drained",
+		"drained", cs.Drained, "canceled", cs.Canceled, "shed", cs.Shed)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		logger.Error("shutdown failed", "err", err)
+		os.Exit(1)
 	}
 }

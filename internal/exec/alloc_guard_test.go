@@ -1,0 +1,55 @@
+package exec
+
+// Alloc guard for the observability layer: with the flight recorder always
+// on, the per-morsel execution path must not allocate. Flight events are
+// recorded at query and pipeline granularity (morsel batches, not morsels),
+// and the one morsel-granular event (first JIT routing) uses a pre-interned
+// label behind a per-worker latch — so growing the data (more morsels, same
+// plan) must not grow the allocation count.
+
+import (
+	"testing"
+
+	"inkfuse/internal/algebra"
+)
+
+// queryAllocs measures the average whole-query allocation count at one data
+// size: lowering, execution, result — everything but table generation.
+func queryAllocs(t *testing.T, rows int) float64 {
+	t.Helper()
+	tbl := benchTable(rows)
+	node := benchNode(tbl)
+	lat := LatencyNone
+	opts := Options{Backend: BackendVectorized, Workers: 1, Latency: &lat}
+	return testing.AllocsPerRun(5, func() {
+		plan, err := algebra.Lower(node, "allocguard")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Execute(plan, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rows() != 1 {
+			t.Fatalf("rows = %d", res.Rows())
+		}
+	})
+}
+
+func TestMorselLoopZeroAllocsPerChunkWithRecorder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc measurement over 400k rows")
+	}
+	small, large := 100_000, 400_000
+	a := queryAllocs(t, small)
+	b := queryAllocs(t, large)
+	// The per-query component (plan, scratch, goroutines, flight events) is
+	// identical at both sizes; only the chunk count differs. ~1k-row chunks
+	// mean ~293 extra chunks at 400k rows, so a per-chunk cost of even one
+	// allocation would show up as hundreds of extra allocations.
+	extraChunks := float64(large-small) / 1024
+	perChunk := (b - a) / extraChunks
+	if perChunk > 0.5 {
+		t.Fatalf("per-chunk allocations with recorder on = %.3f (total %g -> %g): morsel loop no longer alloc-free", perChunk, a, b)
+	}
+}

@@ -272,7 +272,7 @@ func TestHybridCompilesAllPipelinesUpFront(t *testing.T) {
 		t.Fatal(err)
 	}
 	lat := LatencyNone
-	bgs := startHybridCompiles(context.Background(), plan.Pipelines, lat, 0, nil)
+	bgs := startHybridCompiles(context.Background(), 0, plan.Pipelines, lat, 0, nil)
 	defer func() {
 		for _, h := range bgs {
 			h.abandon()
@@ -290,7 +290,7 @@ func TestHybridCompilesAllPipelinesUpFront(t *testing.T) {
 
 	// And the job cap serializes without deadlocking or losing jobs.
 	plan2, _ := algebra.Lower(node, "upfront2")
-	bgs2 := startHybridCompiles(context.Background(), plan2.Pipelines, lat, 1, nil)
+	bgs2 := startHybridCompiles(context.Background(), 0, plan2.Pipelines, lat, 1, nil)
 	for i, h := range bgs2 {
 		<-h.done
 		if h.art.Load() == nil {

@@ -12,6 +12,7 @@ import (
 
 	"inkfuse/internal/core"
 	"inkfuse/internal/faultinject"
+	"inkfuse/internal/flight"
 	"inkfuse/internal/interp"
 	"inkfuse/internal/metrics"
 	"inkfuse/internal/obs"
@@ -75,6 +76,19 @@ type Options struct {
 	// with the plan it was built from (the plancache enforces this by leasing
 	// plan and set together).
 	Artifacts *ArtifactSet
+	// QueryID is the engine-wide query id keying flight-recorder events and
+	// trace/span correlation. 0 = allocate one (NextQueryID); servers assign
+	// ids up front so admission failures are already attributable.
+	QueryID uint64
+	// TraceID and ParentSpanID carry W3C trace-context correlation from the
+	// serving layer into the query trace (and from there into exported
+	// spans). Empty = uncorrelated; the span renderer then derives a
+	// deterministic trace id from QueryID.
+	TraceID      string
+	ParentSpanID string
+	// Fingerprint is the plan-cache fingerprint of SQL-built plans, threaded
+	// into scheduler QueryInfos and the canonical query log.
+	Fingerprint string
 }
 
 func (o Options) withDefaults() Options {
@@ -99,6 +113,12 @@ type Result struct {
 	Cols  []string
 	Chunk *storage.Chunk
 	Stats stats.Counters
+	// QueryID is the engine-wide id this execution ran under (Options.QueryID
+	// or freshly allocated) — the key for flight-recorder correlation.
+	QueryID uint64
+	// QueueWait is the time spent in the scheduler's admission queue before
+	// the query started executing.
+	QueueWait time.Duration
 	// Wall is the end-to-end execution time.
 	Wall time.Duration
 	// Warnings reports non-fatal degradations (e.g. a hybrid background
@@ -189,6 +209,15 @@ func (q *queryState) failure() error {
 // introducing a new error (the real failure lives in queryState).
 var errQueryStopped = errors.New("exec: query stopped")
 
+// queryIDSeq backs NextQueryID.
+var queryIDSeq atomic.Uint64
+
+// NextQueryID allocates a fresh engine-wide query id. Serving layers call it
+// before admission so a shed or timed-out query already has an id its flight
+// events attach to; ExecuteContext allocates one itself when Options.QueryID
+// is zero.
+func NextQueryID() uint64 { return queryIDSeq.Add(1) }
+
 // Execute runs a lowered plan and returns its result.
 func Execute(plan *core.Plan, opts Options) (*Result, error) {
 	return ExecuteContext(context.Background(), plan, opts)
@@ -216,6 +245,18 @@ func ExecuteContext(ctx context.Context, plan *core.Plan, opts Options) (*Result
 	// morsel loop observes through the pointer (two atomic adds per morsel).
 	morselHist := obs.Default.MorselLatency.With(backend)
 
+	// Every execution runs under an engine-wide query id: the key its flight
+	// events, scheduler QueryInfos row, and exported spans share. The query
+	// label is interned once here so no later recording site touches the
+	// intern table.
+	qid := opts.QueryID
+	if qid == 0 {
+		qid = NextQueryID()
+	}
+	opts.QueryID = qid // runners key their compile events on it
+	qlabel := flight.Default.Intern(plan.Name)
+	flight.Default.Record(flight.KindQueryStart, qid, qlabel, int64(opts.Backend), 0)
+
 	// Admission: the query enters the engine-wide scheduler before it builds
 	// any state. A rejected query (queue full, draining, over-capacity, or a
 	// context that expired while queued) never ran — no worker contexts, no
@@ -224,22 +265,31 @@ func ExecuteContext(ctx context.Context, plan *core.Plan, opts Options) (*Result
 	if pool == nil {
 		pool = sched.Shared()
 	}
-	adm, err := pool.Admit(ctx, plan.Name, opts.MemoryBudget, opts.Workers)
+	adm, err := pool.AdmitWith(ctx, sched.AdmitInfo{
+		ID: qid, Name: plan.Name, Backend: backend, Fingerprint: opts.Fingerprint,
+		Mem: opts.MemoryBudget, Parallelism: opts.Workers,
+	})
 	if err != nil {
 		err = admissionError(err)
 		wall := time.Since(start)
 		canceled := errors.Is(err, ErrCanceled) || errors.Is(err, ErrDeadlineExceeded)
 		metrics.Default.QueryDone(nil, wall, err, canceled, false)
 		obs.Default.ObserveQuery(backend, wall, 0)
+		flight.Default.Record(flight.KindQueryError, qid, qlabel, int64(wall), 0)
 		return nil, err
 	}
 	defer adm.Release()
+	queueWait := adm.QueueWait()
 
 	// qt is nil unless tracing was requested; every recording site below is
 	// guarded on it at morsel granularity or coarser.
 	var qt *trace.Query
 	if opts.Trace {
 		qt = trace.NewQuery(plan.Name, opts.Backend.String(), opts.Workers, start)
+		qt.ID = qid
+		qt.TraceID = opts.TraceID
+		qt.ParentSpanID = opts.ParentSpanID
+		qt.QueueWait = queueWait
 	}
 
 	var reg *interp.Registry
@@ -249,6 +299,7 @@ func ExecuteContext(ctx context.Context, plan *core.Plan, opts Options) (*Result
 			wall := time.Since(start)
 			metrics.Default.QueryDone(nil, wall, err, false, false)
 			obs.Default.ObserveQuery(backend, wall, 0)
+			flight.Default.Record(flight.KindQueryError, qid, qlabel, int64(wall), 0)
 			return nil, err
 		}
 	}
@@ -292,7 +343,11 @@ func ExecuteContext(ctx context.Context, plan *core.Plan, opts Options) (*Result
 		canceled := errors.Is(err, ErrCanceled) || errors.Is(err, ErrDeadlineExceeded)
 		metrics.Default.QueryDone(&res, wall, err, canceled, false)
 		obs.Default.ObserveQuery(backend, wall, res.Tuples)
-		return &Result{Cols: plan.ColNames, Stats: res, Wall: wall, Warnings: warnings, Trace: qt}, err
+		flight.Default.Record(flight.KindQueryError, qid, qlabel, int64(wall), 0)
+		return &Result{
+			Cols: plan.ColNames, Stats: res, QueryID: qid, QueueWait: queueWait,
+			Wall: wall, Warnings: warnings, Trace: qt,
+		}, err
 	}
 
 	// The hybrid backend starts background compilation for every pipeline as
@@ -300,7 +355,7 @@ func ExecuteContext(ctx context.Context, plan *core.Plan, opts Options) (*Result
 	// pipeline runs, its fused code is usually already waiting.
 	var bgs []*hybridCompile
 	if opts.Backend == BackendHybrid {
-		bgs = startHybridCompiles(ctx, plan.Pipelines, *opts.Latency, opts.CompileJobs, opts.Artifacts)
+		bgs = startHybridCompiles(ctx, qid, plan.Pipelines, *opts.Latency, opts.CompileJobs, opts.Artifacts)
 		defer func() {
 			for _, h := range bgs {
 				h.abandon()
@@ -334,6 +389,7 @@ func ExecuteContext(ctx context.Context, plan *core.Plan, opts Options) (*Result
 		var pt *trace.Pipeline
 		if qt != nil {
 			pt = qt.StartPipeline(pipe.Name, binder.total, len(morsels))
+			pt.Start = pipeStart.Sub(start)
 		}
 
 		var bg *hybridCompile
@@ -352,6 +408,11 @@ func ExecuteContext(ctx context.Context, plan *core.Plan, opts Options) (*Result
 				outs[i] = storage.NewChunk(pipe.ResultKinds())
 			}
 		}
+
+		// One flight event per pipeline dispatch — morsel-batch granularity,
+		// never per morsel.
+		flight.Default.RecordStr(flight.KindMorselBatch, qid, pipe.Name,
+			int64(len(morsels)), int64(binder.total))
 
 		// Morsels dispatch into the shared pool instead of per-query worker
 		// goroutines. slot is the query-local worker slot in
@@ -424,6 +485,7 @@ func ExecuteContext(ctx context.Context, plan *core.Plan, opts Options) (*Result
 			warnings = append(warnings, fmt.Errorf(
 				"exec: %s/%s: background compile failed, pipeline served by the vectorized interpreter: %w",
 				plan.Name, pipe.Name, fi.degraded))
+			flight.Default.RecordStr(flight.KindDegraded, qid, pipe.Name, 0, 0)
 		}
 		if pt != nil {
 			pt.CompileTime = fi.compileTime
@@ -480,6 +542,7 @@ func ExecuteContext(ctx context.Context, plan *core.Plan, opts Options) (*Result
 		wall := time.Since(start)
 		metrics.Default.QueryDone(&res, wall, err, false, false)
 		obs.Default.ObserveQuery(backend, wall, res.Tuples)
+		flight.Default.Record(flight.KindQueryError, qid, qlabel, int64(wall), 0)
 		return nil, err
 	}
 	out := storage.NewChunk(kinds)
@@ -495,7 +558,11 @@ func ExecuteContext(ctx context.Context, plan *core.Plan, opts Options) (*Result
 	}
 	metrics.Default.QueryDone(&res, wall, nil, false, len(warnings) > 0)
 	obs.Default.ObserveQuery(backend, wall, res.Tuples)
-	return &Result{Cols: plan.ColNames, Chunk: out, Stats: res, Wall: wall, Warnings: warnings, Trace: qt}, nil
+	flight.Default.Record(flight.KindQueryDone, qid, qlabel, int64(wall), int64(out.Rows()))
+	return &Result{
+		Cols: plan.ColNames, Chunk: out, Stats: res, QueryID: qid, QueueWait: queueWait,
+		Wall: wall, Warnings: warnings, Trace: qt,
+	}, nil
 }
 
 // runMorselSafe executes one morsel with panic isolation: a panic anywhere

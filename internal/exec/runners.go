@@ -8,6 +8,7 @@ import (
 
 	"inkfuse/internal/core"
 	"inkfuse/internal/faultinject"
+	"inkfuse/internal/flight"
 	"inkfuse/internal/interp"
 	"inkfuse/internal/storage"
 	"inkfuse/internal/trace"
@@ -123,10 +124,13 @@ func newCompilingRunner(ctx context.Context, pi int, pipe *core.Pipeline, opts O
 	if art := opts.Artifacts.loadFused(pi); art != nil {
 		return &compilingRunner{art: art}, nil
 	}
+	flight.Default.RecordStr(flight.KindCompileStart, opts.QueryID, pipe.Name, 0, 0)
 	art, dur, err := compileStep(ctx, "pipeline_"+pipe.Name, pipe.Source.SourceIUs(), pipe.Ops, pipe.Result, *opts.Latency)
 	if err != nil {
+		flight.Default.RecordStr(flight.KindCompileFail, opts.QueryID, pipe.Name, 0, 0)
 		return nil, err
 	}
+	flight.Default.RecordStr(flight.KindCompileLand, opts.QueryID, pipe.Name, int64(dur), 0)
 	opts.Artifacts.noteCompile()
 	opts.Artifacts.storeFused(pi, art)
 	// The compiling backend cannot process tuples until compilation is done:
@@ -181,15 +185,18 @@ func newROFRunner(ctx context.Context, pi int, pipe *core.Pipeline, opts Options
 		r.steps = arts
 	} else {
 		var wait time.Duration
+		flight.Default.RecordStr(flight.KindCompileStart, opts.QueryID, pipe.Name, int64(len(steps)), 0)
 		for si, st := range steps {
 			art, dur, err := compileStep(ctx, fmt.Sprintf("rof_%s_s%d", pipe.Name, si), st.source, st.ops, st.emit, *opts.Latency)
 			if err != nil {
+				flight.Default.RecordStr(flight.KindCompileFail, opts.QueryID, pipe.Name, int64(si), 0)
 				return nil, err
 			}
 			wait += dur
 			r.steps = append(r.steps, art)
 		}
 		r.wait = wait
+		flight.Default.RecordStr(flight.KindCompileLand, opts.QueryID, pipe.Name, int64(wait), int64(len(steps)))
 		opts.Artifacts.noteCompile()
 		opts.Artifacts.storeROF(pi, r.steps)
 	}
@@ -282,7 +289,7 @@ func (h *hybridCompile) fail(err error) {
 // pipeline of the plan. The returned handles are wired into the hybrid
 // runners pipeline by pipeline; abandon cancels whatever has not finished
 // when the query completes, as does cancellation of the query context.
-func startHybridCompiles(ctx context.Context, pipes []*core.Pipeline, lat LatencyModel, jobs int, arts *ArtifactSet) []*hybridCompile {
+func startHybridCompiles(ctx context.Context, qid uint64, pipes []*core.Pipeline, lat LatencyModel, jobs int, arts *ArtifactSet) []*hybridCompile {
 	if jobs <= 0 {
 		jobs = len(pipes) // paper default: one compilation thread per pipeline
 	}
@@ -310,19 +317,23 @@ func startHybridCompiles(ctx context.Context, pipes []*core.Pipeline, lat Latenc
 			case <-ctx.Done():
 				return
 			}
+			flight.Default.RecordStr(flight.KindCompileStart, qid, pipe.Name, 0, 0)
 			start := time.Now()
 			if err := faultinject.Inject(faultinject.ExecHybridCompile); err != nil {
 				h.fail(err)
+				flight.Default.RecordStr(flight.KindCompileFail, qid, pipe.Name, 0, 0)
 				return
 			}
 			fn, states, err := core.GenStep("pipeline_"+pipe.Name, pipe.Source.SourceIUs(), pipe.Ops, pipe.Result)
 			if err != nil {
 				h.fail(err)
+				flight.Default.RecordStr(flight.KindCompileFail, qid, pipe.Name, 0, 0)
 				return
 			}
 			prog, err := vm.Compile(fn)
 			if err != nil {
 				h.fail(err)
+				flight.Default.RecordStr(flight.KindCompileFail, qid, pipe.Name, 0, 0)
 				return
 			}
 			// Interruptible machine-code latency: one timer wake-up (repeated
@@ -348,6 +359,7 @@ func startHybridCompiles(ctx context.Context, pipes []*core.Pipeline, lat Latenc
 			arts.noteCompile()
 			arts.storeFused(i, step)
 			h.art.Store(step)
+			flight.Default.RecordStr(flight.KindCompileLand, qid, pipe.Name, int64(h.compile), 0)
 		}(pipe)
 	}
 	return out
@@ -368,6 +380,10 @@ type hybridRunner struct {
 	// runner records each measured routing sample into its own worker's
 	// entry — per-morsel, lock-free, guarded by one nil check.
 	pt *trace.Pipeline
+	// qid / flabel key the first-JIT flight event; the label is interned at
+	// runner construction so the hot path never touches the intern table.
+	qid    uint64
+	flabel flight.Label
 }
 
 type hybridWorker struct {
@@ -376,6 +392,9 @@ type hybridWorker struct {
 	// throughput (a plain zero would conflate the two and let zero-row
 	// morsels poison the EWMA seed).
 	vecMeasured, jitMeasured bool
+	// jitAnnounced marks that this worker's first compiled morsel was
+	// recorded into the flight recorder.
+	jitAnnounced bool
 	// bgDead caches a permanent background-compile failure so the worker
 	// stops polling the dead job's atomics every morsel.
 	bgDead  bool
@@ -396,7 +415,10 @@ func newHybridRunner(pipe *core.Pipeline, opts Options, reg *interp.Registry, bg
 	if err != nil {
 		return nil, err
 	}
-	return &hybridRunner{vec: vec, bg: bg, workers: make([]hybridWorker, opts.Workers), pt: pt}, nil
+	return &hybridRunner{
+		vec: vec, bg: bg, workers: make([]hybridWorker, opts.Workers), pt: pt,
+		qid: opts.QueryID, flabel: flight.Default.Intern(pipe.Name),
+	}, nil
 }
 
 //inkfuse:hotpath
@@ -426,6 +448,13 @@ func (h *hybridRunner) runMorsel(w int, ctx *vm.Ctx, src []*storage.Vector, n in
 			useJIT = false
 		default:
 			useJIT = ws.jitTput > ws.vecTput
+		}
+		if useJIT && !ws.jitAnnounced {
+			// This worker's first compiled morsel: the observable moment
+			// incremental fusion switches backends mid-query. Once per worker,
+			// through the allocation-free hotpath Record.
+			ws.jitAnnounced = true
+			flight.Default.Record(flight.KindFirstJIT, h.qid, h.flabel, int64(w), 0)
 		}
 	}
 	ws.morsels++

@@ -1,0 +1,180 @@
+package flight
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWraparoundBounded: a ring written far past its capacity keeps only the
+// newest events, in global sequence order, with nothing torn or duplicated.
+func TestWraparoundBounded(t *testing.T) {
+	r := New(1, 64)
+	l := r.Intern("wrap")
+	const n = 1000
+	for i := 1; i <= n; i++ {
+		r.Record(KindQueryDone, uint64(i), l, int64(i), int64(-i))
+	}
+	evs := r.Snapshot()
+	if len(evs) == 0 || len(evs) > 64 {
+		t.Fatalf("snapshot has %d events, want (0, 64]", len(evs))
+	}
+	for i, ev := range evs {
+		if i > 0 && ev.Seq <= evs[i-1].Seq {
+			t.Fatalf("sequence not strictly increasing at %d: %d then %d", i, evs[i-1].Seq, ev.Seq)
+		}
+		if ev.A != int64(ev.Query) || ev.B != -int64(ev.Query) {
+			t.Fatalf("torn event: %+v", ev)
+		}
+		if ev.Label != "wrap" || ev.Kind != KindQueryDone {
+			t.Fatalf("corrupt event: %+v", ev)
+		}
+	}
+	if last := evs[len(evs)-1].Seq; last != n {
+		t.Fatalf("newest seq = %d, want %d", last, n)
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("single-writer wraparound dropped %d events", r.Dropped())
+	}
+}
+
+// TestConcurrentWritersSnapshotsWellFormed hammers a tiny ring from many
+// writers while snapshotting concurrently: every returned event must be
+// internally consistent (A/B invariant intact, kind valid, label resolved) —
+// the never-torn guarantee — and the snapshot itself always well-formed.
+// Run under -race this also proves every slot access is properly atomic.
+func TestConcurrentWritersSnapshotsWellFormed(t *testing.T) {
+	r := New(2, 64) // tiny: force constant wraparound under contention
+	labels := []Label{r.Intern("w0"), r.Intern("w1"), r.Intern("w2"), r.Intern("w3")}
+	const writers = 8
+	const perWriter = 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				v := int64(w*perWriter + i)
+				// Invariant: B == v*3 + int64(kind). Kind cycles.
+				k := KindQueryStart + Kind(i%3)
+				r.Record(k, uint64(w+1), labels[w%len(labels)], v, v*3+int64(k))
+			}
+		}(w)
+	}
+
+	var snaps sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		snaps.Add(1)
+		go func() {
+			defer snaps.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, ev := range r.Snapshot() {
+					if ev.Kind == 0 || ev.Kind >= kindMax {
+						t.Errorf("invalid kind in snapshot: %+v", ev)
+						return
+					}
+					if ev.B != ev.A*3+int64(ev.Kind) {
+						t.Errorf("torn event: %+v", ev)
+						return
+					}
+					if !strings.HasPrefix(ev.Label, "w") {
+						t.Errorf("label not resolved: %+v", ev)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	snaps.Wait()
+
+	// After quiescence, exactly ring-capacity events survive and they are the
+	// newest ones claimed.
+	evs := r.Snapshot()
+	total := int64(writers * perWriter)
+	if got := int64(len(evs)) + r.Dropped(); got > total {
+		t.Fatalf("snapshot(%d) + dropped(%d) exceed writes(%d)", len(evs), r.Dropped(), total)
+	}
+	seen := map[uint64]bool{}
+	for _, ev := range evs {
+		if seen[ev.Seq] {
+			t.Fatalf("duplicate seq %d in snapshot", ev.Seq)
+		}
+		seen[ev.Seq] = true
+	}
+}
+
+func TestRecentFiltersByQuery(t *testing.T) {
+	r := New(2, 128)
+	for i := 0; i < 10; i++ {
+		r.RecordStr(KindMorselBatch, 7, "mine", int64(i), 0)
+		r.RecordStr(KindMorselBatch, 8, "other", int64(i), 0)
+	}
+	r.RecordStr(KindDrainBegin, 0, "", 2, 0) // engine-lifecycle: always relevant
+	got := r.Recent(6, 7)
+	if len(got) != 6 {
+		t.Fatalf("Recent returned %d events, want 6", len(got))
+	}
+	for _, ev := range got {
+		if ev.Query != 7 && ev.Query != 0 {
+			t.Fatalf("Recent(7) leaked query %d: %+v", ev.Query, ev)
+		}
+	}
+	if last := got[len(got)-1]; last.Kind != KindDrainBegin {
+		t.Fatalf("newest relevant event = %+v, want the drain marker", last)
+	}
+}
+
+func TestInternBoundedByOverflowLabel(t *testing.T) {
+	r := New(1, 64)
+	var overflowed bool
+	for i := 0; i < maxLabels+16; i++ {
+		l := r.Intern(strings.Repeat("x", 1+i%7) + string(rune('a'+i%26)) + time.Duration(i).String())
+		if l == Label(1) {
+			overflowed = true
+		}
+	}
+	if !overflowed {
+		t.Fatal("interning never hit the overflow label despite exceeding the cap")
+	}
+	if got := r.labelString(Label(1)); got != "…" {
+		t.Fatalf("overflow label = %q", got)
+	}
+}
+
+// TestRecordNoAllocs pins the recorder's hot-path contract: recording with a
+// pre-interned label performs zero heap allocations.
+func TestRecordNoAllocs(t *testing.T) {
+	r := New(4, 256)
+	l := r.Intern("alloc-test")
+	allocs := testing.AllocsPerRun(500, func() {
+		r.Record(KindMorselBatch, 42, l, 16, 1<<20)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestDumpRendersEvents(t *testing.T) {
+	r := New(1, 64)
+	r.RecordStr(KindAdmit, 3, "q6", int64(1500*time.Microsecond), 0)
+	var b strings.Builder
+	r.Dump(&b)
+	out := b.String()
+	if !strings.Contains(out, "flight recorder: 1 events") {
+		t.Fatalf("dump header missing: %q", out)
+	}
+	if !strings.Contains(out, "admitted") || !strings.Contains(out, "q=3") || !strings.Contains(out, "q6") {
+		t.Fatalf("dump line incomplete: %q", out)
+	}
+}

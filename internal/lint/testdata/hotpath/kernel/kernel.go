@@ -5,6 +5,8 @@ package kernel
 import (
 	"math/bits"
 	"strconv"
+	"sync/atomic"
+	"time"
 )
 
 type state struct {
@@ -60,6 +62,29 @@ func closures() func() {
 //inkfuse:hotpath
 func waived(n int) []byte {
 	return make([]byte, n) //inklint:allow alloc — fixture: waiver suppresses the finding
+}
+
+// recorder models the flight-recorder pattern: an annotated Record built on
+// the allowlisted sync/atomic + time packages is callable from hot code, while
+// the lock-taking label interner must stay on cold paths.
+type recorder struct {
+	seq   atomic.Int64
+	epoch time.Time
+}
+
+// intern is deliberately cold: label interning takes a lock.
+func (r *recorder) intern(s string) int64 { return int64(len(s)) }
+
+//inkfuse:hotpath
+func (r *recorder) record(v int64) {
+	r.seq.Add(v)            // ok: sync/atomic is allowlisted
+	_ = time.Since(r.epoch) // ok: time is allowlisted
+}
+
+//inkfuse:hotpath
+func recordSites(r *recorder, label string) {
+	r.record(1)         // ok: hot → hot module call
+	_ = r.intern(label) // want "not //inkfuse:hotpath"
 }
 
 //inkfuse:hotpath

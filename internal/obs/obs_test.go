@@ -89,6 +89,68 @@ func TestHistogramConcurrent(t *testing.T) {
 	}
 }
 
+// TestFamilyConcurrentMerge races writers across family children (including
+// racing child creation for the same label) against readers rendering the
+// registry; afterwards the merged counts must be exact. Run under -race this
+// also proves exposition never reads torn histogram state.
+func TestFamilyConcurrentMerge(t *testing.T) {
+	r := NewRegistry()
+	backends := []string{"vectorized", "compiling", "rof", "hybrid"}
+	const workers, per = 8, 2000
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if out := r.PrometheusText(); !strings.Contains(out, "# TYPE inkfuse_query_seconds histogram") {
+					t.Error("exposition lost its TYPE header mid-write")
+					return
+				}
+				_ = r.SummaryText()
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			for i := 0; i < per; i++ {
+				b := backends[(w+i)%len(backends)]
+				r.QueryLatency.With(b).ObserveDuration(time.Duration(i%1000+1) * time.Microsecond)
+				r.MorselLatency.With(b).ObserveDuration(time.Duration(i%100+1) * time.Microsecond)
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+
+	var total int64
+	for _, b := range backends {
+		total += r.QueryLatency.With(b).Count()
+	}
+	if total != workers*per {
+		t.Fatalf("merged query count = %d, want %d", total, workers*per)
+	}
+	// The final exposition must agree with the merged counts.
+	out := r.PrometheusText()
+	for _, b := range backends {
+		want := `inkfuse_query_seconds_count{backend="` + b + `"} ` + strconv.FormatInt(r.QueryLatency.With(b).Count(), 10)
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestFamilyChildrenAndRegistry(t *testing.T) {
 	r := NewRegistry()
 	r.ObserveQuery("hybrid", 20*time.Millisecond, 1_000_000)

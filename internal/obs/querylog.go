@@ -1,0 +1,183 @@
+// Canonical query log: one structured wide event per query completion, the
+// single source of truth for "what did this query do" in logs. Serve and
+// inkbench both emit it through log/slog, so a slow, failed, shed or degraded
+// query carries the same fields everywhere: identity (engine query id,
+// fingerprint, source), routing (backend, plan-cache outcome, degradations),
+// scheduling (admission queue wait), compilation (compiles run vs artifacts
+// reused, cached bytes), execution counters (rows, tuples, hash-table
+// behaviour), and the duration breakdown.
+//
+// Tail-based sampling: the interesting tail — errors, shed admissions, slow
+// queries, degraded pipelines — is always kept; plain successes are sampled
+// probabilistically (deterministic in the query id, so a fleet of servers
+// keeps a consistent subset and reruns are reproducible).
+
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"time"
+)
+
+// QueryEvent is the canonical wide event of one query completion.
+type QueryEvent struct {
+	// Identity.
+	ID          uint64 // engine-wide query id (flight-recorder / span key)
+	Query       string // plan name, e.g. "q6"
+	Source      string // "plan" (named query), "sql" (text), "prepared" (handle)
+	Fingerprint string // parameter-invariant plan fingerprint ("" for named plans)
+	TraceID     string // W3C trace id when the client sent traceparent
+
+	// Routing.
+	Backend   string // backend that executed the query
+	PlanCache string // "hit", "miss", or "off"
+	Degraded  bool   // a hybrid pipeline permanently fell back to vectorized
+
+	// Outcome. Outcome is "ok" for successes, otherwise the error kind the
+	// serving layer classified ("shed", "deadline", "canceled", "panic", ...).
+	Outcome string
+	Error   string // terminal error message ("" on success)
+	Slow    bool   // wall exceeded the slow-query threshold
+
+	// Volume.
+	Rows   int   // result rows
+	Tuples int64 // source tuples processed
+
+	// Duration breakdown.
+	Wall        time.Duration // end-to-end, admission included
+	QueueWait   time.Duration // admission-queue wait inside Wall
+	CompileTime time.Duration // total compile time charged to this execution
+	CompileWait time.Duration // dead wait on foreground compilation
+
+	// Compilation amortization (plan/artifact cache).
+	Compiles        int64 // compile jobs this execution ran
+	ArtifactsReused int64 // fused pipelines served from cached artifacts
+	ArtifactBytes   int64 // cached artifact bytes leased with the plan
+
+	// Hash-table counters.
+	HTLocalHits  int64
+	HTSpills     int64
+	HTBloomSkips int64
+
+	// Morsel routing (hybrid: how incremental fusion split the work).
+	MorselsCompiled   int64
+	MorselsVectorized int64
+}
+
+// Interesting reports whether the event is in the always-keep tail: any
+// non-ok outcome, an explicit error, a shed/degraded/slow query.
+func (e *QueryEvent) Interesting() bool {
+	return e.Outcome != "ok" || e.Error != "" || e.Degraded || e.Slow
+}
+
+// attrs renders the event as slog attributes. Zero-valued optional fields
+// (fingerprint, trace id, compile times on pure-vectorized runs) are elided
+// so the line stays readable in text handlers.
+func (e *QueryEvent) attrs() []slog.Attr {
+	out := make([]slog.Attr, 0, 24)
+	out = append(out,
+		slog.Uint64("id", e.ID),
+		slog.String("query", e.Query),
+		slog.String("source", e.Source),
+		slog.String("backend", e.Backend),
+		slog.String("outcome", e.Outcome),
+		slog.Duration("wall", e.Wall),
+		slog.Duration("queue_wait", e.QueueWait),
+		slog.Int("rows", e.Rows),
+		slog.Int64("tuples", e.Tuples),
+	)
+	if e.Fingerprint != "" {
+		out = append(out, slog.String("fingerprint", e.Fingerprint))
+	}
+	if e.PlanCache != "" {
+		out = append(out, slog.String("plan_cache", e.PlanCache))
+	}
+	if e.TraceID != "" {
+		out = append(out, slog.String("trace_id", e.TraceID))
+	}
+	if e.Error != "" {
+		out = append(out, slog.String("err", e.Error))
+	}
+	if e.Slow {
+		out = append(out, slog.Bool("slow", true))
+	}
+	if e.Degraded {
+		out = append(out, slog.Bool("degraded", true))
+	}
+	if e.CompileTime > 0 || e.CompileWait > 0 || e.Compiles > 0 {
+		out = append(out,
+			slog.Duration("compile_time", e.CompileTime),
+			slog.Duration("compile_wait", e.CompileWait),
+			slog.Int64("compiles", e.Compiles),
+		)
+	}
+	if e.ArtifactsReused > 0 || e.ArtifactBytes > 0 {
+		out = append(out,
+			slog.Int64("artifacts_reused", e.ArtifactsReused),
+			slog.Int64("artifact_bytes", e.ArtifactBytes),
+		)
+	}
+	if e.HTLocalHits > 0 || e.HTSpills > 0 || e.HTBloomSkips > 0 {
+		out = append(out,
+			slog.Int64("ht_local_hits", e.HTLocalHits),
+			slog.Int64("ht_spills", e.HTSpills),
+			slog.Int64("ht_bloom_skips", e.HTBloomSkips),
+		)
+	}
+	if e.MorselsCompiled > 0 || e.MorselsVectorized > 0 {
+		out = append(out,
+			slog.Int64("morsels_jit", e.MorselsCompiled),
+			slog.Int64("morsels_vec", e.MorselsVectorized),
+		)
+	}
+	return out
+}
+
+// Emit writes the canonical event to the logger at a level matching its
+// severity: Error for failed queries, Warn for slow/degraded ones, Info
+// otherwise. The message is always "query" so downstream filters key on the
+// attributes, not the text.
+func (e *QueryEvent) Emit(logger *slog.Logger) {
+	if logger == nil {
+		return
+	}
+	level := slog.LevelInfo
+	switch {
+	case e.Outcome != "ok" || e.Error != "":
+		level = slog.LevelError
+	case e.Slow || e.Degraded:
+		level = slog.LevelWarn
+	}
+	logger.LogAttrs(context.Background(), level, "query", e.attrs()...)
+}
+
+// TailSampler decides which canonical query events are logged. The tail —
+// every event whose Interesting() is true — is always kept; plain successes
+// are kept with probability SuccessRate, decided deterministically from the
+// query id (splitmix64), so the kept subset is stable across reruns and
+// consistent between a server's log and its span file.
+type TailSampler struct {
+	// SuccessRate is the fraction of non-interesting (plain success) events
+	// kept: 1 keeps everything, 0 drops every plain success, 0.01 keeps ~1%.
+	SuccessRate float64
+}
+
+// Keep reports whether the event should be emitted.
+func (s TailSampler) Keep(e *QueryEvent) bool {
+	if e.Interesting() {
+		return true
+	}
+	switch {
+	case s.SuccessRate >= 1:
+		return true
+	case s.SuccessRate <= 0:
+		return false
+	}
+	// splitmix64 finalizer: uniform in [0, 2^53) after the shift.
+	x := e.ID + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11)/(1<<53) < s.SuccessRate
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestQueryEventEmitLevelsAndFields(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+
+	ok := &QueryEvent{
+		ID: 7, Query: "q6", Source: "sql", Backend: "hybrid", Outcome: "ok",
+		Fingerprint: "abc123", PlanCache: "hit", Rows: 1, Tuples: 60000,
+		Wall: 12 * time.Millisecond, QueueWait: 1 * time.Millisecond,
+	}
+	ok.Emit(logger)
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("canonical event is not one JSON line: %v (%q)", err, buf.String())
+	}
+	if line["level"] != "INFO" || line["msg"] != "query" {
+		t.Fatalf("success event level/msg = %v/%v", line["level"], line["msg"])
+	}
+	for _, k := range []string{"id", "query", "source", "backend", "outcome", "wall", "queue_wait", "rows", "tuples", "fingerprint", "plan_cache"} {
+		if _, present := line[k]; !present {
+			t.Fatalf("canonical event missing %q: %v", k, line)
+		}
+	}
+
+	buf.Reset()
+	slow := &QueryEvent{ID: 8, Query: "q1", Source: "plan", Backend: "vectorized", Outcome: "ok", Slow: true}
+	slow.Emit(logger)
+	if !strings.Contains(buf.String(), `"level":"WARN"`) || !strings.Contains(buf.String(), `"slow":true`) {
+		t.Fatalf("slow event not warned: %s", buf.String())
+	}
+
+	buf.Reset()
+	failed := &QueryEvent{ID: 9, Query: "q9", Source: "plan", Backend: "hybrid", Outcome: "shed", Error: "queue full"}
+	failed.Emit(logger)
+	if !strings.Contains(buf.String(), `"level":"ERROR"`) {
+		t.Fatalf("failed event not logged at error: %s", buf.String())
+	}
+}
+
+// TestTailSamplerChaos drives a randomized mix of outcomes through the
+// sampler and proves the acceptance property: 100% of error/shed/degraded
+// (and slow) events are kept, while plain successes are kept at roughly the
+// configured rate.
+func TestTailSamplerChaos(t *testing.T) {
+	s := TailSampler{SuccessRate: 0.1}
+	rng := rand.New(rand.NewSource(1))
+	outcomes := []string{"ok", "shed", "deadline", "internal", "panic", "memory_budget"}
+
+	var tail, tailKept, okTotal, okKept int
+	for i := 0; i < 50_000; i++ {
+		e := &QueryEvent{ID: uint64(i), Query: "q", Backend: "hybrid"}
+		e.Outcome = outcomes[rng.Intn(len(outcomes))]
+		if e.Outcome != "ok" {
+			e.Error = "boom"
+		} else {
+			// Successes can still be tail-worthy: slow or degraded.
+			e.Slow = rng.Intn(20) == 0
+			e.Degraded = rng.Intn(20) == 0
+		}
+		interesting := e.Interesting()
+		kept := s.Keep(e)
+		if interesting {
+			tail++
+			if kept {
+				tailKept++
+			}
+		} else {
+			okTotal++
+			if kept {
+				okKept++
+			}
+		}
+	}
+	if tail == 0 || okTotal == 0 {
+		t.Fatal("chaos mix degenerate")
+	}
+	if tailKept != tail {
+		t.Fatalf("tail retention %d/%d — sampler dropped interesting events", tailKept, tail)
+	}
+	rate := float64(okKept) / float64(okTotal)
+	if rate < 0.05 || rate > 0.2 {
+		t.Fatalf("success sampling rate %.3f far from configured 0.1", rate)
+	}
+}
+
+func TestTailSamplerDeterministic(t *testing.T) {
+	s := TailSampler{SuccessRate: 0.5}
+	for id := uint64(0); id < 1000; id++ {
+		e := &QueryEvent{ID: id, Outcome: "ok"}
+		if s.Keep(e) != s.Keep(e) {
+			t.Fatalf("sampling of id %d is not deterministic", id)
+		}
+	}
+}
+
+func TestTailSamplerEdgeRates(t *testing.T) {
+	all := TailSampler{SuccessRate: 1}
+	none := TailSampler{SuccessRate: 0}
+	e := &QueryEvent{ID: 3, Outcome: "ok"}
+	if !all.Keep(e) {
+		t.Fatal("rate 1 must keep every success")
+	}
+	if none.Keep(e) {
+		t.Fatal("rate 0 must drop plain successes")
+	}
+	err := &QueryEvent{ID: 3, Outcome: "deadline", Error: "x"}
+	if !none.Keep(err) {
+		t.Fatal("rate 0 must still keep the tail")
+	}
+}

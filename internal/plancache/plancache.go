@@ -22,6 +22,7 @@ import (
 	"inkfuse/internal/algebra"
 	"inkfuse/internal/core"
 	"inkfuse/internal/exec"
+	"inkfuse/internal/flight"
 	"inkfuse/internal/metrics"
 )
 
@@ -128,6 +129,7 @@ func (c *Cache) Acquire(fp core.Fingerprint) *Prepared {
 	if e == nil || len(e.idle) == 0 {
 		c.misses++
 		metrics.Default.PlanCacheMiss()
+		flight.Default.RecordStr(flight.KindPlanCacheMiss, 0, fp.Hex(), 0, 0)
 		return nil
 	}
 	p := e.idle[len(e.idle)-1]
@@ -136,6 +138,7 @@ func (c *Cache) Acquire(fp core.Fingerprint) *Prepared {
 	c.lru.MoveToFront(e.lruElem)
 	c.hits++
 	metrics.Default.PlanCacheHit()
+	flight.Default.RecordStr(flight.KindPlanCacheHit, 0, fp.Hex(), p.cost, 0)
 	return p
 }
 
@@ -172,9 +175,12 @@ func (c *Cache) evict() {
 	for (len(c.entries) > c.cfg.MaxEntries || c.bytes > c.cfg.MaxBytes) && c.lru.Len() > 1 {
 		back := c.lru.Back()
 		e := back.Value.(*entry)
+		var freed int64
 		for _, p := range e.idle {
 			c.bytes -= p.cost
+			freed += p.cost
 		}
+		flight.Default.RecordStr(flight.KindPlanCacheEvict, 0, e.fp.Hex(), freed, 0)
 		e.idle = nil
 		e.evicted = true
 		c.lru.Remove(back)

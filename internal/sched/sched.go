@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"inkfuse/internal/faultinject"
+	"inkfuse/internal/flight"
 	"inkfuse/internal/metrics"
 	"inkfuse/internal/obs"
 )
@@ -218,6 +219,10 @@ type Query struct {
 	mem  int64
 	cap  int
 
+	info     AdmitInfo
+	admitted time.Time     // when the admission was granted
+	waited   time.Duration // time spent in the admission queue
+
 	// slots is the free-slot stack; len(slots) == cap - in-flight tasks.
 	slots    []int
 	set      *taskSet
@@ -226,12 +231,72 @@ type Query struct {
 }
 
 type waiter struct {
-	name  string
-	mem   int64
-	cap   int
-	q     *Query // set under the pool lock when admitted
-	err   error  // set under the pool lock when rejected
+	info  AdmitInfo
+	enq   time.Time // when the waiter entered the queue
+	q     *Query    // set under the pool lock when admitted
+	err   error     // set under the pool lock when rejected
 	ready chan struct{}
+}
+
+// AdmitInfo describes one admission request. Name, Mem and Parallelism drive
+// admission itself; ID, Backend and Fingerprint are observability passthrough:
+// they key flight-recorder events and surface in QueryInfos so operators can
+// see what is occupying (or saturating) the pool.
+type AdmitInfo struct {
+	// ID is the engine-wide query id (0 = unassigned; flight events then
+	// attach to no particular query).
+	ID uint64
+	// Name labels the query in errors, stats and flight events.
+	Name string
+	// Backend is the execution backend the query will run on.
+	Backend string
+	// Fingerprint is the plan-cache fingerprint, when the query came through
+	// the SQL frontend.
+	Fingerprint string
+	// Mem is the memory reservation against Config.MemLimit (0 = none).
+	Mem int64
+	// Parallelism is the in-flight morsel cap (<= 0 = pool size).
+	Parallelism int
+}
+
+// QueryInfo is one row of Pool.QueryInfos: an admitted or queued query with
+// enough identity for an operator to see what is saturating admission.
+type QueryInfo struct {
+	ID          uint64
+	Name        string
+	Backend     string
+	Fingerprint string
+	Mem         int64
+	Parallelism int
+	// State is "running" for admitted queries, "queued" for waiters.
+	State string
+	// QueueWait is the time spent in the admission queue: final for running
+	// queries, elapsed-so-far for queued ones.
+	QueueWait time.Duration
+}
+
+// QueryInfos snapshots the admitted and queued queries, running first (in
+// admission order), then waiters in FIFO order.
+func (p *Pool) QueryInfos() []QueryInfo {
+	now := time.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]QueryInfo, 0, len(p.active)+len(p.queue))
+	for _, q := range p.active {
+		out = append(out, QueryInfo{
+			ID: q.info.ID, Name: q.info.Name, Backend: q.info.Backend,
+			Fingerprint: q.info.Fingerprint, Mem: q.mem, Parallelism: q.cap,
+			State: "running", QueueWait: q.waited,
+		})
+	}
+	for _, w := range p.queue {
+		out = append(out, QueryInfo{
+			ID: w.info.ID, Name: w.info.Name, Backend: w.info.Backend,
+			Fingerprint: w.info.Fingerprint, Mem: w.info.Mem, Parallelism: w.info.Parallelism,
+			State: "queued", QueueWait: now.Sub(w.enq),
+		})
+	}
+	return out
 }
 
 // Admit enters one query into the pool, waiting in the bounded admission
@@ -244,14 +309,20 @@ type waiter struct {
 // closed), ErrOverCapacity (reservation can never fit), or the context error
 // when ctx expires while queued — in that case the query never ran.
 func (p *Pool) Admit(ctx context.Context, name string, mem int64, parallelism int) (*Query, error) {
+	return p.AdmitWith(ctx, AdmitInfo{Name: name, Mem: mem, Parallelism: parallelism})
+}
+
+// AdmitWith is Admit with full identity: the extra AdmitInfo fields flow into
+// flight-recorder events and QueryInfos but do not change admission policy.
+func (p *Pool) AdmitWith(ctx context.Context, info AdmitInfo) (*Query, error) {
 	if err := faultinject.Inject(faultinject.SchedAdmit); err != nil {
-		return nil, fmt.Errorf("sched: admit %s: %w", name, err)
+		return nil, fmt.Errorf("sched: admit %s: %w", info.Name, err)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if parallelism <= 0 {
-		parallelism = p.workers
+	if info.Parallelism <= 0 {
+		info.Parallelism = p.workers
 	}
 	start := time.Now()
 	p.mu.Lock()
@@ -260,12 +331,13 @@ func (p *Pool) Admit(ctx context.Context, name string, mem int64, parallelism in
 		observeQueueWait("draining", 0)
 		return nil, ErrDraining
 	}
-	if p.memLimit > 0 && mem > p.memLimit {
+	if p.memLimit > 0 && info.Mem > p.memLimit {
 		p.mu.Unlock()
-		return nil, fmt.Errorf("%w: budget %d > limit %d", ErrOverCapacity, mem, p.memLimit)
+		flight.Default.RecordStr(flight.KindShed, info.ID, info.Name, info.Mem, p.memLimit)
+		return nil, fmt.Errorf("%w: budget %d > limit %d", ErrOverCapacity, info.Mem, p.memLimit)
 	}
-	if p.fitsLocked(mem) {
-		q := p.admitLocked(name, mem, parallelism)
+	if p.fitsLocked(info.Mem) {
+		q := p.admitLocked(info, 0)
 		p.mu.Unlock()
 		observeQueueWait("admitted", 0)
 		return q, nil
@@ -275,12 +347,15 @@ func (p *Pool) Admit(ctx context.Context, name string, mem int64, parallelism in
 		p.shed.Add(1)
 		metrics.Default.SchedShed()
 		observeQueueWait("shed", 0)
+		flight.Default.RecordStr(flight.KindShed, info.ID, info.Name, int64(p.queueDepth), 0)
 		return nil, ErrQueueFull
 	}
-	w := &waiter{name: name, mem: mem, cap: parallelism, ready: make(chan struct{})}
+	w := &waiter{info: info, enq: start, ready: make(chan struct{})}
 	p.queue = append(p.queue, w)
+	depth := len(p.queue)
 	metrics.Default.SchedQueued(1)
 	p.mu.Unlock()
+	flight.Default.RecordStr(flight.KindQueued, info.ID, info.Name, int64(depth), 0)
 
 	select {
 	case <-w.ready:
@@ -307,7 +382,9 @@ func (p *Pool) Admit(ctx context.Context, name string, mem int64, parallelism in
 		}
 		p.queueTimeouts.Add(1)
 		metrics.Default.SchedQueueTimeout()
-		observeQueueWait("timeout", time.Since(start))
+		waited := time.Since(start)
+		observeQueueWait("timeout", waited)
+		flight.Default.RecordStr(flight.KindQueueTimeout, info.ID, info.Name, int64(waited), 0)
 		return nil, ctx.Err()
 	}
 }
@@ -327,16 +404,23 @@ func (p *Pool) fitsLocked(mem int64) bool {
 	return true
 }
 
-func (p *Pool) admitLocked(name string, mem int64, parallelism int) *Query {
-	q := &Query{pool: p, name: name, mem: mem, cap: parallelism}
-	q.slots = make([]int, parallelism)
+func (p *Pool) admitLocked(info AdmitInfo, waited time.Duration) *Query {
+	q := &Query{
+		pool: p, name: info.Name, mem: info.Mem, cap: info.Parallelism,
+		info: info, admitted: time.Now(), waited: waited,
+	}
+	q.slots = make([]int, q.cap)
 	for i := range q.slots {
-		q.slots[i] = parallelism - 1 - i // pop order 0, 1, 2, ...
+		q.slots[i] = q.cap - 1 - i // pop order 0, 1, 2, ...
 	}
 	p.active = append(p.active, q)
-	p.memUsed += mem
+	p.memUsed += q.mem
 	p.admitted.Add(1)
 	metrics.Default.SchedAdmitted()
+	flight.Default.RecordStr(flight.KindAdmit, info.ID, info.Name, int64(waited), 0)
+	if q.mem > 0 {
+		flight.Default.RecordStr(flight.KindMemReserve, info.ID, info.Name, q.mem, p.memUsed)
+	}
 	return q
 }
 
@@ -371,17 +455,24 @@ func (p *Pool) releaseLocked(q *Query) {
 	}
 	p.memUsed -= q.mem
 	metrics.Default.SchedReleased()
-	for len(p.queue) > 0 && p.fitsLocked(p.queue[0].mem) {
+	if q.mem > 0 {
+		flight.Default.RecordStr(flight.KindMemRelease, q.info.ID, q.name, -q.mem, p.memUsed)
+	}
+	for len(p.queue) > 0 && p.fitsLocked(p.queue[0].info.Mem) {
 		w := p.queue[0]
 		p.queue = p.queue[1:]
 		metrics.Default.SchedQueued(-1)
-		w.q = p.admitLocked(w.name, w.mem, w.cap)
+		w.q = p.admitLocked(w.info, time.Since(w.enq))
 		close(w.ready)
 	}
 	if len(p.active) == 0 {
 		p.idleCond.Broadcast()
 	}
 }
+
+// QueueWait reports how long this query waited in the admission queue before
+// being admitted (zero when it was admitted immediately).
+func (q *Query) QueueWait() time.Duration { return q.waited }
 
 // Release frees the query's admission (idempotent). Any still-running task
 // set is stopped first; Release does not wait for in-flight tasks — callers
@@ -577,6 +668,7 @@ func (p *Pool) Close(ctx context.Context) CloseStats {
 	p.queue = nil
 	atCloseActive := len(p.active)
 	p.mu.Unlock()
+	flight.Default.Record(flight.KindDrainBegin, 0, flight.NoLabel, int64(atCloseActive), int64(cs.Shed))
 
 	if err := faultinject.Inject(faultinject.SchedDrain); err != nil {
 		// An armed drain fault skips the graceful wait: cancel immediately.
@@ -614,10 +706,12 @@ func (p *Pool) Close(ctx context.Context) CloseStats {
 		p.taskCond.Broadcast()
 		p.drainCanceled.Add(int64(cs.Canceled))
 		metrics.Default.SchedDrainCanceled(int64(cs.Canceled))
+		flight.Default.Record(flight.KindDrainCancel, 0, flight.NoLabel, int64(cs.Canceled), 0)
 		// Canceled queries still unwind through their owners' Release calls.
 		<-done
 	}
 	cs.Drained = atCloseActive - cs.Canceled
+	flight.Default.Record(flight.KindDrainEnd, 0, flight.NoLabel, int64(cs.Drained), int64(cs.Canceled))
 
 	p.mu.Lock()
 	p.stopped = true

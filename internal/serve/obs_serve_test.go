@@ -1,0 +1,329 @@
+package serve
+
+// Observability-surface tests: the flight recorder endpoint, flight context
+// on error responses, W3C traceparent ingestion and span export, the
+// canonical query log (with fingerprint and plan-cache outcome), and the
+// per-query admission detail on /queries.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"inkfuse/internal/faultinject"
+	"inkfuse/internal/sched"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	cases := []struct {
+		in          string
+		trace, span string
+	}{
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", "4bf92f3577b34da6a3ce929d0e0e4736", "00f067aa0ba902b7"},
+		{" 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00 ", "4bf92f3577b34da6a3ce929d0e0e4736", "00f067aa0ba902b7"},
+		{"", "", ""},
+		{"garbage", "", ""},
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7", "", ""},          // missing flags
+		{"00-00000000000000000000000000000000-00f067aa0ba902b7-01", "", ""},       // zero trace id
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", "", ""},       // zero span id
+		{"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", "", ""},       // uppercase forbidden
+		{"00-4bf92f3577b34da6a3ce929d0e0e47-00f067aa0ba902b7xx-01", "", ""},       // wrong lengths
+		{"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra", "", ""}, // trailing part
+		{"zz-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", "", ""},       // non-hex version
+	}
+	for _, c := range cases {
+		gotT, gotS := parseTraceparent(c.in)
+		if gotT != c.trace || gotS != c.span {
+			t.Errorf("parseTraceparent(%q) = (%q, %q), want (%q, %q)", c.in, gotT, gotS, c.trace, c.span)
+		}
+	}
+}
+
+func TestFlightEndpointRecordsQueries(t *testing.T) {
+	ts := httptest.NewServer(testServer().Handler())
+	defer ts.Close()
+
+	resp, body := postQuery(t, ts, `{"query":"q6","backend":"vectorized"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d: %s", resp.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.QueryID == 0 {
+		t.Fatal("response missing engine query id")
+	}
+
+	fresp, fbody := get(t, ts, "/debug/flight")
+	if fresp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/flight status %d", fresp.StatusCode)
+	}
+	dump := string(fbody)
+	if !strings.Contains(dump, "flight recorder:") {
+		t.Fatalf("dump missing header:\n%s", dump)
+	}
+	for _, kind := range []string{"query_start", "admitted", "morsel_batch", "query_done"} {
+		if !strings.Contains(dump, kind) {
+			t.Fatalf("dump missing %q events:\n%s", kind, dump)
+		}
+	}
+
+	// Per-query filtering returns only this query's (and engine-wide) events.
+	fresp, fbody = get(t, ts, "/debug/flight?q="+jsonNumber(qr.QueryID))
+	if fresp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/flight?q status %d", fresp.StatusCode)
+	}
+	if !strings.Contains(string(fbody), "query_done") {
+		t.Fatalf("filtered dump missing this query's completion:\n%s", fbody)
+	}
+}
+
+func jsonNumber(v uint64) string {
+	raw, _ := json.Marshal(v)
+	return string(raw)
+}
+
+func TestErrorResponseCarriesFlightContext(t *testing.T) {
+	defer faultinject.Reset()
+	ts := httptest.NewServer(testServer().Handler())
+	defer ts.Close()
+
+	faultinject.Arm(faultinject.ExecMorsel, faultinject.Fault{Err: faultinject.ErrInjected})
+	resp, body := postQuery(t, ts, `{"query":"q6","backend":"vectorized"}`)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.QueryID == 0 {
+		t.Fatalf("error response missing query id: %s", body)
+	}
+	if len(er.Flight) == 0 {
+		t.Fatalf("error response missing flight context: %s", body)
+	}
+	joined := strings.Join(er.Flight, "\n")
+	for _, kind := range []string{"query_start", "query_error"} {
+		if !strings.Contains(joined, kind) {
+			t.Fatalf("flight context missing %q:\n%s", kind, joined)
+		}
+	}
+}
+
+func TestShedResponseCarriesFlightContext(t *testing.T) {
+	defer faultinject.Reset()
+	srv := newShedServer(t, Config{MaxConcurrent: 1, QueueDepth: -1})
+	defer srv.Close(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	faultinject.Arm(faultinject.ExecMorsel, faultinject.Fault{Delay: 50 * time.Millisecond})
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		postQuery(t, ts, `{"query":"q6","backend":"vectorized"}`)
+	}()
+	waitSched(t, srv, func(s sched.Stats) bool { return s.Running == 1 })
+
+	resp, body := postQuery(t, ts, `{"query":"q6","backend":"vectorized"}`)
+	<-firstDone
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Kind != "shed" || len(er.Flight) == 0 {
+		t.Fatalf("shed response missing flight context: %s", body)
+	}
+	if !strings.Contains(strings.Join(er.Flight, "\n"), "shed") {
+		t.Fatalf("flight context missing the shed event: %v", er.Flight)
+	}
+}
+
+func TestSpanExportInlineAndSink(t *testing.T) {
+	var sink bytes.Buffer
+	srv := newShedServer(t, Config{SpanSink: &syncWriter{w: &sink}})
+	defer srv.Close(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req, err := http.NewRequest("POST", ts.URL+"/query",
+		strings.NewReader(`{"query":"q6","backend":"vectorized","spans":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("traceparent", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("trace id not echoed: %q", qr.TraceID)
+	}
+	if len(qr.Spans) == 0 {
+		t.Fatal("spans requested but not returned inline")
+	}
+	// writeJSON re-indents the embedded document, so match values, not
+	// compact key:value pairs.
+	s := string(qr.Spans)
+	if !strings.Contains(s, `"resourceSpans"`) ||
+		!strings.Contains(s, `"4bf92f3577b34da6a3ce929d0e0e4736"`) ||
+		!strings.Contains(s, `"00f067aa0ba902b7"`) {
+		t.Fatalf("inline spans did not join the client trace: %s", s)
+	}
+
+	// The sink got the same document, one JSON line per query.
+	line := strings.TrimSpace(sink.String())
+	if line == "" {
+		t.Fatal("span sink empty")
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(strings.SplitN(line, "\n", 2)[0]), &doc); err != nil {
+		t.Fatalf("span sink line is not JSON: %v", err)
+	}
+	if _, ok := doc["resourceSpans"]; !ok {
+		t.Fatalf("span sink line missing resourceSpans: %s", line)
+	}
+}
+
+// syncWriter guards a bytes.Buffer the test reads back (the server also
+// serializes sink writes; this covers the test's own read).
+type syncWriter struct {
+	mu sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+func TestCanonicalQueryLog(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	logger := slog.New(slog.NewJSONHandler(&lockedWriter{mu: &mu, w: &buf}, nil))
+	srv := New(Config{SF: 0.005, Logger: logger, SlowQuery: time.Nanosecond})
+	defer srv.Close(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, body := postQuery(t, ts, `{"sql":"select count(*) as n from lineitem where l_quantity < 24"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	var event map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("log line is not JSON: %v (%q)", err, line)
+		}
+		if m["msg"] == "query" {
+			event = m
+			break
+		}
+	}
+	if event == nil {
+		t.Fatalf("no canonical query event in log:\n%s", out)
+	}
+	// The wide event carries identity, routing and the slow-query verdict —
+	// including fingerprint and plan_cache, which the old slow log dropped.
+	for _, k := range []string{"id", "query", "source", "backend", "outcome", "wall", "queue_wait", "rows", "tuples", "fingerprint", "plan_cache", "slow"} {
+		if _, ok := event[k]; !ok {
+			t.Fatalf("canonical event missing %q: %v", k, event)
+		}
+	}
+	if event["source"] != "sql" || event["outcome"] != "ok" || event["level"] != "WARN" {
+		t.Fatalf("event source/outcome/level = %v/%v/%v", event["source"], event["outcome"], event["level"])
+	}
+	if event["plan_cache"] != "miss" && event["plan_cache"] != "hit" {
+		t.Fatalf("plan_cache = %v", event["plan_cache"])
+	}
+}
+
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  io.Writer
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+func TestQueriesEndpointShowsActiveQueries(t *testing.T) {
+	defer faultinject.Reset()
+	srv := newShedServer(t, Config{MaxConcurrent: 1})
+	defer srv.Close(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	faultinject.Arm(faultinject.ExecMorsel, faultinject.Fault{Delay: 50 * time.Millisecond})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		postQuery(t, ts, `{"query":"q6","backend":"vectorized"}`)
+	}()
+	go func() {
+		postQuery(t, ts, `{"query":"q1","backend":"vectorized"}`)
+	}()
+	waitSched(t, srv, func(s sched.Stats) bool { return s.Running == 1 && s.Queued == 1 })
+
+	_, body := get(t, ts, "/queries")
+	var ql struct {
+		Active []struct {
+			ID          uint64  `json:"id"`
+			Query       string  `json:"query"`
+			Backend     string  `json:"backend"`
+			State       string  `json:"state"`
+			QueueWaitMS float64 `json:"queue_wait_ms"`
+		} `json:"active"`
+	}
+	if err := json.Unmarshal(body, &ql); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Reset()
+	<-done
+
+	states := map[string]int{}
+	for _, a := range ql.Active {
+		states[a.State]++
+		if a.ID == 0 || a.Query == "" || a.Backend == "" {
+			t.Fatalf("active entry missing identity: %+v", a)
+		}
+	}
+	if states["running"] != 1 || states["queued"] != 1 {
+		t.Fatalf("active states = %v, want 1 running + 1 queued (%s)", states, body)
+	}
+	for _, a := range ql.Active {
+		if a.State == "queued" && a.QueueWaitMS <= 0 {
+			t.Fatalf("queued entry has no queue wait so far: %+v", a)
+		}
+	}
+}

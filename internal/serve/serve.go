@@ -7,9 +7,16 @@
 // The server is a thin stateless shell around the engine: every request is
 // one query, isolated by the executor's cancellation/panic/budget machinery,
 // so a failing request returns a structured error while the process and
-// concurrent requests keep serving. A structured query log (log/slog) records
-// every query with its latency; queries slower than Config.SlowQuery log at
-// Warn.
+// concurrent requests keep serving.
+//
+// Observability: every query completion emits one canonical wide event
+// (obs.QueryEvent) through log/slog, tail-sampled so errors, shed, slow and
+// degraded queries always log while plain successes log at
+// Config.LogSampleRate. The engine flight recorder is exposed at
+// GET /debug/flight, and any query ending in error carries its recent flight
+// events in the error response. Requests may join a distributed trace via the
+// W3C traceparent header; traced executions export OTLP-shaped JSON spans to
+// Config.SpanSink and, on request, inline in the response.
 package serve
 
 import (
@@ -18,9 +25,12 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +39,7 @@ import (
 	"inkfuse/internal/core"
 	"inkfuse/internal/exec"
 	"inkfuse/internal/faultinject"
+	"inkfuse/internal/flight"
 	"inkfuse/internal/obs"
 	"inkfuse/internal/plancache"
 	"inkfuse/internal/sched"
@@ -80,16 +91,25 @@ type Config struct {
 	MaxPrepared int
 	// Logger receives the query log; nil uses slog.Default().
 	Logger *slog.Logger
+	// LogSampleRate tail-samples the canonical query log: errors, shed, slow
+	// and degraded queries always log; plain successes log at this fraction.
+	// 0 keeps everything (sampling off); negative drops all plain successes.
+	LogSampleRate float64
+	// SpanSink receives one OTLP JSON span document (one line) per traced
+	// query. Setting it enables execution tracing on every query.
+	SpanSink io.Writer
 }
 
 // Server is one inkserve instance: a resident catalog, the engine-wide
 // scheduler pool every request executes through, and the HTTP handlers.
 type Server struct {
-	cfg   Config
-	cat   *storage.Catalog
-	pool  *sched.Pool
-	cache *plancache.Cache // nil when disabled
-	log   *slog.Logger
+	cfg     Config
+	cat     *storage.Catalog
+	pool    *sched.Pool
+	cache   *plancache.Cache // nil when disabled
+	log     *slog.Logger
+	sampler obs.TailSampler
+	spanMu  sync.Mutex // serializes SpanSink writes
 
 	prepMu   sync.Mutex
 	prepared map[string]*sql.Statement
@@ -133,9 +153,14 @@ func New(cfg Config) *Server {
 		}
 		cache = plancache.New(plancache.Config{MaxEntries: cfg.PlanCacheEntries, MaxBytes: bytes})
 	}
+	sampler := obs.TailSampler{SuccessRate: cfg.LogSampleRate}
+	if cfg.LogSampleRate == 0 {
+		sampler.SuccessRate = 1
+	}
 	return &Server{
 		cfg: cfg, cat: tpch.Generate(cfg.SF, cfg.Seed), pool: pool, cache: cache,
-		prepared: make(map[string]*sql.Statement), log: log, start: time.Now(),
+		prepared: make(map[string]*sql.Statement), log: log, sampler: sampler,
+		start: time.Now(),
 	}
 }
 
@@ -163,6 +188,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /queries", s.handleQueries)
+	mux.HandleFunc("GET /debug/flight", s.handleFlight)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -204,6 +230,9 @@ type QueryRequest struct {
 	// MaxRows caps the rows inlined into the response (bounded by the server
 	// cap; 0 = server cap).
 	MaxRows int `json:"max_rows,omitempty"`
+	// Spans enables execution tracing and returns the query's OTLP-shaped
+	// span document inline in the response.
+	Spans bool `json:"spans,omitempty"`
 }
 
 // QueryResponse is the JSON body of a successful POST /query.
@@ -230,6 +259,16 @@ type QueryResponse struct {
 	// "miss", or "off" when caching is disabled).
 	Fingerprint string `json:"fingerprint,omitempty"`
 	PlanCache   string `json:"plan_cache,omitempty"`
+	// QueryID is the engine-wide query id — the correlation key for the
+	// flight recorder, the canonical query log, and exported spans.
+	QueryID     uint64  `json:"query_id,omitempty"`
+	QueueWaitMS float64 `json:"queue_wait_ms,omitempty"`
+	// TraceID echoes the trace the query joined (from the traceparent header,
+	// or derived from the query id when spans were requested without one).
+	TraceID string `json:"trace_id,omitempty"`
+	// Spans is the OTLP-shaped JSON span document, present when the request
+	// set spans=true.
+	Spans json.RawMessage `json:"spans,omitempty"`
 }
 
 // ErrorResponse is the JSON body of a failed request. Kind classifies the
@@ -242,6 +281,11 @@ type ErrorResponse struct {
 	Kind       string            `json:"kind"`
 	Location   *sql.Position     `json:"location,omitempty"`
 	QueryError *QueryErrorDetail `json:"query_error,omitempty"`
+	// QueryID and Flight attach engine context to execution failures: the
+	// query's recent flight-recorder events (admission, compiles, morsel
+	// batches, memory) leading up to the error, rendered one per line.
+	QueryID uint64   `json:"query_id,omitempty"`
+	Flight  []string `json:"flight,omitempty"`
 }
 
 // QueryErrorDetail is the serialized form of an exec.QueryError: where inside
@@ -300,6 +344,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.failRequest(w, id, http.StatusBadRequest, "bad_request",
 			errors.New("exactly one of query, sql, prepared must be set"))
 		return
+	}
+	source := "sql"
+	switch {
+	case req.Query != "":
+		source = "plan"
+	case req.Prepared != "":
+		source = "prepared"
 	}
 
 	// Resolve the request to an executable plan. All parse, bind, and
@@ -376,14 +427,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}()
 	}
 
+	// Engine-wide query id: allocated here so the flight recorder, canonical
+	// log, error responses and spans all correlate even when execution never
+	// produces a Result (shed, panic before the first morsel).
+	qid := exec.NextQueryID()
+	traceID, parentSpan := parseTraceparent(r.Header.Get("traceparent"))
 	opts := exec.Options{
 		Backend:      backend,
 		Workers:      req.Workers,
 		MemoryBudget: req.MemoryBudget,
 		Profile:      req.Profile,
-		Trace:        req.Profile,
+		Trace:        req.Profile || req.Spans || s.cfg.SpanSink != nil,
 		Pool:         s.pool,
 		Artifacts:    prep.Artifacts(), // nil-safe: nil prep on the canned path
+		QueryID:      qid,
+		TraceID:      traceID,
+		ParentSpanID: parentSpan,
+		Fingerprint:  fingerprint,
 	}
 	ctx := r.Context()
 	timeout := s.cfg.DefaultTimeout
@@ -416,13 +476,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		status, kind := classify(err)
-		s.logQuery(id, label, backendName, wall, res, err)
+		s.logEvent(s.queryEvent(qid, label, source, fingerprint, cacheState,
+			backendName, traceID, kind, err, res, prep))
+		s.exportSpans(res) // a failed query still exports its partial trace
 		if kind == "shed" {
 			// Load shedding is transient back-pressure, not failure: tell
 			// well-behaved clients when to retry.
 			w.Header().Set("Retry-After", "1")
 		}
-		resp := ErrorResponse{Error: err.Error(), Kind: kind}
+		// Attach the flight-recorder context: the query's own lifecycle
+		// events plus engine-wide ones (plan cache, drain) leading up to the
+		// failure, so a shed or timed-out query is diagnosable from its
+		// error response alone.
+		resp := ErrorResponse{Error: err.Error(), Kind: kind, QueryID: qid, Flight: flightLines(qid)}
 		var qe *exec.QueryError
 		if errors.As(err, &qe) {
 			resp.QueryError = &QueryErrorDetail{
@@ -443,6 +509,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Rows: res.Rows(), WallMS: float64(wall) / float64(time.Millisecond),
 		Columns: res.Cols, Explain: explain,
 		TotalRows: res.Rows(), Fingerprint: fingerprint, PlanCache: cacheState,
+		QueryID:     qid,
+		QueueWaitMS: float64(res.QueueWait) / float64(time.Millisecond),
+		TraceID:     traceID,
 	}
 	if secs := wall.Seconds(); secs > 0 {
 		resp.RowsPerSec = float64(res.Stats.Tuples) / secs
@@ -465,7 +534,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			resp.Data[i] = renderRow(res.Chunk, i)
 		}
 	}
-	s.logQuery(id, label, backendName, wall, res, nil)
+	if raw := s.exportSpans(res); raw != nil && req.Spans {
+		resp.Spans = raw
+	}
+	s.logEvent(s.queryEvent(qid, label, source, fingerprint, cacheState,
+		backendName, traceID, "ok", nil, res, prep))
 	if err := faultinject.Inject(faultinject.ServeRespond); err != nil {
 		s.failRequest(w, id, http.StatusInternalServerError, "internal", err)
 		return
@@ -625,26 +698,134 @@ func (s *Server) failRequest(w http.ResponseWriter, id int64, status int, kind s
 	writeJSON(w, status, ErrorResponse{Error: err.Error(), Kind: kind})
 }
 
-// logQuery writes the structured query-log line; slow queries log at Warn.
-func (s *Server) logQuery(id int64, query, backend string, wall time.Duration, res *exec.Result, err error) {
-	attrs := []any{"id", id, "query", query, "backend", backend, "wall", wall}
-	if res != nil {
-		attrs = append(attrs, "rows", res.Rows(), "tuples", res.Stats.Tuples)
-		if len(res.Warnings) > 0 {
-			attrs = append(attrs, "degraded", true)
-		}
+// queryEvent assembles the canonical wide event for one query completion.
+// res and prep may be nil (shed queries, canned-plan path).
+func (s *Server) queryEvent(qid uint64, query, source, fingerprint, cacheState,
+	backend, traceID, outcome string, err error, res *exec.Result, prep *plancache.Prepared) *obs.QueryEvent {
+	e := &obs.QueryEvent{
+		ID: qid, Query: query, Source: source, Fingerprint: fingerprint,
+		TraceID: traceID, Backend: backend, PlanCache: cacheState, Outcome: outcome,
 	}
 	if err != nil {
-		attrs = append(attrs, "err", err.Error())
-		s.log.Error("query failed", attrs...)
+		e.Error = err.Error()
+	}
+	if res != nil {
+		e.Rows = res.Rows()
+		e.Tuples = res.Stats.Tuples
+		e.Wall = res.Wall
+		e.QueueWait = res.QueueWait
+		e.CompileTime = res.Stats.CompileTime
+		e.CompileWait = res.Stats.CompileWait
+		e.HTLocalHits = res.Stats.HTLocalHits
+		e.HTSpills = res.Stats.HTSpills
+		e.HTBloomSkips = res.Stats.HTBloomSkips
+		e.MorselsCompiled = res.Stats.MorselsCompiled
+		e.MorselsVectorized = res.Stats.MorselsVectorized
+		e.Degraded = len(res.Warnings) > 0 || res.Stats.CompileErrors > 0
+		e.Slow = s.cfg.SlowQuery > 0 && res.Wall >= s.cfg.SlowQuery
+	}
+	if prep != nil {
+		arts := prep.Artifacts()
+		e.Compiles = arts.Compiles()
+		e.ArtifactsReused = int64(arts.FusedPipelines())
+		e.ArtifactBytes = arts.CostBytes()
+	}
+	return e
+}
+
+// logEvent emits the canonical event through the tail sampler.
+func (s *Server) logEvent(e *obs.QueryEvent) {
+	if s.sampler.Keep(e) {
+		e.Emit(s.log)
+	}
+}
+
+// exportSpans renders the execution trace as an OTLP JSON document, writes it
+// to the configured span sink (one document per line), and returns it for
+// inline use. Nil when the query was not traced.
+func (s *Server) exportSpans(res *exec.Result) []byte {
+	if res == nil || res.Trace == nil {
+		return nil
+	}
+	raw, err := res.Trace.Spans()
+	if err != nil {
+		return nil
+	}
+	if s.cfg.SpanSink != nil {
+		s.spanMu.Lock()
+		_, _ = s.cfg.SpanSink.Write(raw)
+		_, _ = io.WriteString(s.cfg.SpanSink, "\n")
+		s.spanMu.Unlock()
+	}
+	return raw
+}
+
+// flightLines renders the flight recorder's recent events for one query
+// (its own lifecycle plus engine-wide events like plan-cache and drain).
+func flightLines(qid uint64) []string {
+	evs := flight.Default.Recent(16, qid)
+	if len(evs) == 0 {
+		return nil
+	}
+	lines := make([]string, len(evs))
+	for i := range evs {
+		lines[i] = evs[i].String()
+	}
+	return lines
+}
+
+// parseTraceparent extracts the trace id and parent span id from a W3C
+// traceparent header ("00-<32 hex>-<16 hex>-<2 hex>"). Malformed or all-zero
+// values are ignored — a bad header must never fail the query.
+func parseTraceparent(h string) (traceID, spanID string) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) != 4 || len(parts[0]) != 2 || len(parts[1]) != 32 || len(parts[2]) != 16 || len(parts[3]) != 2 {
+		return "", ""
+	}
+	allZero := func(s string) bool { return strings.Trim(s, "0") == "" }
+	for _, p := range parts[:3] {
+		if !isLowerHex(p) {
+			return "", ""
+		}
+	}
+	if allZero(parts[1]) || allZero(parts[2]) {
+		return "", ""
+	}
+	return parts[1], parts[2]
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// handleFlight serves the engine flight recorder: the full chronological dump
+// by default, or the last ?n= events of query ?q= when filtering.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if qs := r.URL.Query().Get("q"); qs != "" {
+		qid, err := strconv.ParseUint(qs, 10, 64)
+		if err != nil {
+			http.Error(w, "q must be a query id", http.StatusBadRequest)
+			return
+		}
+		n := 64
+		if ns := r.URL.Query().Get("n"); ns != "" {
+			if v, err := strconv.Atoi(ns); err == nil && v > 0 {
+				n = v
+			}
+		}
+		for _, ev := range flight.Default.Recent(n, qid) {
+			fmt.Fprintln(w, ev.String())
+		}
 		return
 	}
-	if s.cfg.SlowQuery > 0 && wall >= s.cfg.SlowQuery {
-		attrs = append(attrs, "slow_threshold", s.cfg.SlowQuery)
-		s.log.Warn("slow query", attrs...)
-		return
-	}
-	s.log.Info("query served", attrs...)
+	flight.Default.Dump(w)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -694,7 +875,24 @@ func (s *Server) handleQueries(w http.ResponseWriter, _ *http.Request) {
 	s.prepMu.Lock()
 	nPrepared := len(s.prepared)
 	s.prepMu.Unlock()
+	// Per-query admission detail: running queries with their final queue
+	// wait, queued queries with their wait so far.
+	active := []map[string]any{}
+	for _, qi := range s.pool.QueryInfos() {
+		entry := map[string]any{
+			"id":            qi.ID,
+			"query":         qi.Name,
+			"backend":       qi.Backend,
+			"state":         qi.State,
+			"queue_wait_ms": float64(qi.QueueWait) / float64(time.Millisecond),
+		}
+		if qi.Fingerprint != "" {
+			entry["fingerprint"] = qi.Fingerprint
+		}
+		active = append(active, entry)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
+		"active":          active,
 		"queries":         tpch.Queries,
 		"sql":             "POST /query {\"sql\": \"select ...\"} or POST /prepare then {\"prepared\": handle, \"params\": [...]}",
 		"backends":        []string{"vectorized", "compiling", "rof", "hybrid"},

@@ -27,6 +27,18 @@ type Query struct {
 	Query   string
 	Backend string
 	Workers int
+	// ID is the engine-wide query id the execution ran under — the join key
+	// against flight-recorder events and scheduler QueryInfos.
+	ID uint64
+	// TraceID / ParentSpanID carry W3C trace-context correlation from the
+	// client (serve parses the traceparent header). Empty when the query was
+	// not externally correlated; span export then derives a deterministic
+	// trace id from ID.
+	TraceID      string
+	ParentSpanID string
+	// QueueWait is the admission-queue wait preceding execution; span export
+	// renders it so queueing is visible in the query span.
+	QueueWait time.Duration
 	// Begin anchors the trace on the wall clock; per-pipeline offsets (e.g.
 	// ArtifactReady) are relative to it.
 	Begin time.Time
@@ -46,6 +58,9 @@ type Pipeline struct {
 	// per-worker morsel counts may sum to less than Morsels.
 	Rows    int
 	Morsels int
+	// Start is the pipeline's begin offset from Query.Begin, so span export
+	// can place pipelines on the query timeline.
+	Start time.Duration
 	// Workers is indexed by worker ID; each worker writes only its own entry.
 	Workers []Worker
 	// Wall spans runner construction (including any foreground compile wait)

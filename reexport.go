@@ -1,11 +1,15 @@
 package inkfuse
 
 import (
+	"io"
+
 	"inkfuse/internal/algebra"
 	"inkfuse/internal/core"
 	"inkfuse/internal/exec"
+	"inkfuse/internal/flight"
 	"inkfuse/internal/ir"
 	"inkfuse/internal/metrics"
+	"inkfuse/internal/obs"
 	"inkfuse/internal/plancache"
 	"inkfuse/internal/sql"
 	"inkfuse/internal/stats"
@@ -238,3 +242,29 @@ func SQLErrorPosition(err error) (SQLPosition, bool) { return sql.ErrorPosition(
 // NewPlanCache builds a plan/artifact cache; zero config uses the defaults
 // (64 entries, 64 MiB artifact budget).
 func NewPlanCache(cfg PlanCacheConfig) *PlanCache { return plancache.New(cfg) }
+
+// Engine flight recorder and canonical query log (see internal/flight and
+// internal/obs): the always-on observability layer inkserve exposes at
+// GET /debug/flight and emits as one wide slog event per query.
+type (
+	// FlightEvent is one decoded flight-recorder event.
+	FlightEvent = flight.Event
+	// FlightKind classifies a flight-recorder event.
+	FlightKind = flight.Kind
+	// QueryEvent is the canonical wide event of one query completion.
+	QueryEvent = obs.QueryEvent
+	// TailSampler decides which canonical query events are logged: the
+	// interesting tail always, plain successes at SuccessRate.
+	TailSampler = obs.TailSampler
+)
+
+// FlightSnapshot returns the engine flight recorder's surviving events in
+// chronological order.
+func FlightSnapshot() []FlightEvent { return flight.Default.Snapshot() }
+
+// FlightRecent returns the last n flight events of one query, interleaved
+// with engine-wide events (plan cache, drain); query 0 matches everything.
+func FlightRecent(n int, query uint64) []FlightEvent { return flight.Default.Recent(n, query) }
+
+// FlightDump writes the human-readable flight-recorder dump to w.
+func FlightDump(w io.Writer) { flight.Default.Dump(w) }

@@ -41,6 +41,12 @@ go test -run XXX -bench MorselLoop -benchtime 1x ./internal/exec/ >/dev/null
 go test -run XXX -bench 'AggBuild|JoinProbe' -benchtime 1x ./internal/rt/ >/dev/null
 echo "bench smoke OK"
 
+# Alloc guard: the morsel loop must stay allocation-free per chunk with the
+# flight recorder on (the observability layer's zero-cost contract).
+echo "alloc guard..."
+go test -count=1 -run 'MorselLoopZeroAllocs|RecordNoAllocs' ./internal/exec/ ./internal/flight/ >/dev/null
+echo "alloc guard OK"
+
 # inkserve smoke test: start the server on a random port with a tiny catalog,
 # run one query over HTTP, and assert the /metrics exposition advanced (query
 # counter and per-backend latency histogram).
@@ -81,8 +87,54 @@ echo "$body" | grep -q '"plan_cache": *"miss"' \
 body=$(curl -sf "http://$addr/query" -d '{"prepared":"'"$handle"'","params":[11]}')
 echo "$body" | grep -q '"plan_cache": *"hit"' \
     || { echo "second prepared execution should hit the plan cache: $body" >&2; exit 1; }
-curl -sf "http://$addr/metrics" | grep -q '^inkfuse_plancache_hits [1-9]' \
+# Fetch the exposition once into a variable: piping curl straight into
+# `grep -q` races pipefail (grep exits on match, curl fails on the closed
+# pipe).
+metrics=$(curl -sf "http://$addr/metrics")
+echo "$metrics" | grep -q '^inkfuse_plancache_hits [1-9]' \
     || { echo "/metrics plancache hit counter did not advance" >&2; exit 1; }
+
+# Prometheus text-format lint: every exposition line must be a comment or a
+# well-formed `name{labels} value` sample (histogram buckets included), and
+# the histogram families must carry TYPE metadata.
+bad=$(echo "$metrics" | grep -vE '^# (TYPE|HELP) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$' \
+    | grep -vE '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? -?[0-9]+(\.[0-9]+)?([eE][-+]?[0-9]+)?$' \
+    | grep -vE '^$' || true)
+if [ -n "$bad" ]; then
+    echo "/metrics lines fail the Prometheus text-format lint:" >&2
+    echo "$bad" >&2
+    exit 1
+fi
+echo "$metrics" | grep -q '^# TYPE inkfuse_query_seconds histogram$' \
+    || { echo "/metrics histogram family missing TYPE metadata" >&2; exit 1; }
+
+# Flight recorder smoke: the ring must have recorded the queries above, and
+# SIGQUIT must dump it to stderr without killing the server or an in-flight
+# query.
+flight=$(curl -sf "http://$addr/debug/flight")
+echo "$flight" | grep -q '^flight recorder: [1-9]' \
+    || { echo "/debug/flight returned no events: $flight" >&2; exit 1; }
+echo "$flight" | grep -q 'query_done' \
+    || { echo "/debug/flight missing query lifecycle events" >&2; exit 1; }
+: > /tmp/inkserve-smoke.quitcode
+curl -s -o /dev/null -w '%{http_code}\n' --max-time 30 "http://$addr/query" \
+    -d '{"query":"q1","backend":"vectorized"}' > /tmp/inkserve-smoke.quitcode &
+quit_curl=$!
+kill -QUIT "$serve_pid"
+wait "$quit_curl"
+grep -q '^200$' /tmp/inkserve-smoke.quitcode \
+    || { echo "query concurrent with SIGQUIT failed: $(cat /tmp/inkserve-smoke.quitcode)" >&2; exit 1; }
+kill -0 "$serve_pid" 2>/dev/null \
+    || { echo "SIGQUIT killed inkserve" >&2; exit 1; }
+for _ in $(seq 1 50); do
+    grep -q 'flight recorder:' /tmp/inkserve-smoke.log && break
+    sleep 0.1
+done
+grep -q 'flight recorder:' /tmp/inkserve-smoke.log \
+    || { echo "SIGQUIT did not dump the flight recorder" >&2; cat /tmp/inkserve-smoke.log >&2; exit 1; }
+curl -sf "http://$addr/healthz" >/dev/null \
+    || { echo "inkserve unhealthy after SIGQUIT dump" >&2; exit 1; }
+
 kill "$serve_pid"
 trap - EXIT
 echo "inkserve smoke test OK"
