@@ -15,16 +15,41 @@ import (
 )
 
 type cell struct {
-	Query   string  `json:"query"`
-	Backend string  `json:"backend"`
-	WallMS  float64 `json:"wall_ms"`
-	Rows    int64   `json:"rows"`
+	Query    string  `json:"query"`
+	Backend  string  `json:"backend"`
+	WallMS   float64 `json:"wall_ms"`
+	Rows     int64   `json:"rows"`
+	Exchange bool    `json:"exchange"`
+
+	HTLocalHits     int64 `json:"ht_local_hits"`
+	HTSpills        int64 `json:"ht_spills"`
+	HTBloomSkips    int64 `json:"ht_bloom_skips"`
+	PartRoutedRows  int64 `json:"part_routed_rows"`
+	PartMaxPartRows int64 `json:"part_max_part_rows"`
+}
+
+// key identifies a cell across artifacts; the exchange axis is part of the
+// identity so on/off cells of the same query/backend never diff against each
+// other.
+func (c cell) key() string {
+	k := c.Query + "/" + c.Backend
+	if c.Exchange {
+		k += "/exchange"
+	}
+	return k
+}
+
+// counters reports whether the cell carries any behaviour counters worth
+// diffing (older artifacts predate them and decode as all-zero).
+func (c cell) counters() bool {
+	return c.HTLocalHits != 0 || c.HTSpills != 0 || c.HTBloomSkips != 0 || c.PartRoutedRows != 0
 }
 
 type report struct {
-	SF    float64 `json:"sf"`
-	Runs  int     `json:"runs"`
-	Cells []cell  `json:"cells"`
+	SF      float64 `json:"sf"`
+	Workers int     `json:"workers"`
+	Runs    int     `json:"runs"`
+	Cells   []cell  `json:"cells"`
 }
 
 func load(path string) (*report, error) {
@@ -64,27 +89,53 @@ func main() {
 	if base.SF != next.SF {
 		fmt.Printf("note: scale factors differ (baseline SF %g, new SF %g) — deltas are not comparable\n", base.SF, next.SF)
 	}
+	if base.Workers != next.Workers {
+		fmt.Printf("note: worker counts differ (baseline %d, new %d) — wall-time deltas reflect parallelism, not code\n",
+			base.Workers, next.Workers)
+	}
 
 	old := make(map[string]cell, len(base.Cells))
 	for _, c := range base.Cells {
-		old[c.Query+"/"+c.Backend] = c
+		old[c.key()] = c
 	}
 
-	fmt.Printf("%-6s %-11s %10s %10s %9s\n", "query", "backend", "base ms", "new ms", "delta")
+	fmt.Printf("%-6s %-15s %10s %10s %9s\n", "query", "backend", "base ms", "new ms", "delta")
 	regressions := 0
+	anyCounters := false
 	for _, c := range next.Cells {
-		b, ok := old[c.Query+"/"+c.Backend]
+		name := c.Backend
+		if c.Exchange {
+			name += "+ex"
+		}
+		b, ok := old[c.key()]
 		if !ok {
-			fmt.Printf("%-6s %-11s %10s %10.2f %9s\n", c.Query, c.Backend, "-", c.WallMS, "new")
+			fmt.Printf("%-6s %-15s %10s %10.2f %9s\n", c.Query, name, "-", c.WallMS, "new")
 			continue
 		}
+		anyCounters = anyCounters || b.counters() || c.counters()
 		delta := c.WallMS/b.WallMS - 1
 		mark := ""
 		if delta > *threshold {
 			mark = "  REGRESSION"
 			regressions++
 		}
-		fmt.Printf("%-6s %-11s %10.2f %10.2f %+8.1f%%%s\n", c.Query, c.Backend, b.WallMS, c.WallMS, 100*delta, mark)
+		fmt.Printf("%-6s %-15s %10.2f %10.2f %+8.1f%%%s\n", c.Query, name, b.WallMS, c.WallMS, 100*delta, mark)
+	}
+	if anyCounters {
+		fmt.Printf("\ncounter deltas (local_hits/spills/bloom_skips/routed, base -> new):\n")
+		for _, c := range next.Cells {
+			b, ok := old[c.key()]
+			if !ok || (!b.counters() && !c.counters()) {
+				continue
+			}
+			name := c.Backend
+			if c.Exchange {
+				name += "+ex"
+			}
+			fmt.Printf("%-6s %-15s %d/%d/%d/%d -> %d/%d/%d/%d\n", c.Query, name,
+				b.HTLocalHits, b.HTSpills, b.HTBloomSkips, b.PartRoutedRows,
+				c.HTLocalHits, c.HTSpills, c.HTBloomSkips, c.PartRoutedRows)
+		}
 	}
 	if regressions > 0 {
 		fmt.Printf("%d cell(s) regressed more than %.0f%%\n", regressions, 100**threshold)

@@ -22,6 +22,11 @@
 //	    -queries query on all four backends, median wall ms / rows/sec per
 //	    cell as JSON on stdout (scripts/bench.sh commits this as BENCH_*.json)
 //
+// The -exchange flag (off | on | both) lowers plans with the hash-partitioned
+// exchange: group-by and join builds route rows into per-partition buffers so
+// every hash-table partition is single-writer (DESIGN.md §15). "both" doubles
+// the -json cells into an A/B axis; -partitions overrides the fan-out.
+//
 // Degraded measurements (a background compile failed mid-run and the
 // pipeline was served vectorized-only) are flagged with '*' in every table
 // and reported on stderr.
@@ -31,6 +36,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -64,9 +70,19 @@ func main() {
 	concMax := flag.Int("conc-max", 0, "admitted-query cap per level (0 = half the client count)")
 	concQueue := flag.Int("conc-queue", 0, "admission queue depth (0 = scheduler default, negative = no queue)")
 	concBackend := flag.String("conc-backend", "", "backend for the concurrency series (default vectorized)")
+	exchange := flag.String("exchange", "off", "hash-partitioned exchange lowering: off | on | both (both measures every -json cell with and without the exchange)")
+	partitions := flag.Int("partitions", 0, "exchange fan-out with -exchange (0 = one partition per worker)")
 	flag.Parse()
 
-	cfg := benchkit.Config{SF: *sf, Runs: *runs, Workers: *workers, Timeout: *timeout, MemBudget: *memBudget}
+	switch *exchange {
+	case "off", "on", "both":
+	default:
+		fmt.Fprintf(os.Stderr, "inkbench: -exchange must be off, on or both (got %q)\n", *exchange)
+		os.Exit(2)
+	}
+
+	cfg := benchkit.Config{SF: *sf, Runs: *runs, Workers: *workers, Timeout: *timeout, MemBudget: *memBudget,
+		Exchange: *exchange == "on", Partitions: *partitions}
 	if *queries != "" {
 		cfg.Queries = strings.Split(*queries, ",")
 	}
@@ -82,6 +98,14 @@ func main() {
 
 	if *jsonFlag {
 		rep, err := benchkit.JSONBench(cfg, benchkit.Fig9Systems)
+		if err == nil && *exchange == "both" {
+			cfgOn := cfg
+			cfgOn.Exchange = true
+			var repOn *benchkit.JSONReport
+			if repOn, err = benchkit.JSONBench(cfgOn, benchkit.Fig9Systems); err == nil {
+				rep.Cells = append(rep.Cells, repOn.Cells...)
+			}
+		}
 		if err == nil && *concurrency > 0 {
 			rep.Concurrency, err = benchkit.ConcurrentBench(cfg, concCfg)
 		}
@@ -103,6 +127,9 @@ func main() {
 			os.Exit(1)
 		}
 		benchkit.PrintConcurrency(os.Stdout, cells)
+		if *metricsFlag {
+			fmt.Print(inkfuse.MetricsText())
+		}
 		return
 	}
 
@@ -305,7 +332,8 @@ func explainQueries(cfg benchkit.Config, backendName string, dumpTrace bool, qlo
 		if err != nil {
 			return err
 		}
-		out, res, err := inkfuse.ExplainAnalyze(node, q, inkfuse.Options{
+		lopts := inkfuse.LowerOptions{Exchange: cfg.Exchange, Partitions: cfg.Partitions}
+		out, res, err := inkfuse.ExplainAnalyzeOpts(context.Background(), node, q, lopts, inkfuse.Options{
 			Backend:      be,
 			Workers:      cfg.Workers,
 			MemoryBudget: cfg.MemBudget,

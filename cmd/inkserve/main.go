@@ -22,6 +22,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -54,8 +55,23 @@ func main() {
 		planCache      = flag.Int("plan-cache", 0, "plan/artifact cache entries for SQL queries (0 = default 64, negative = disabled)")
 		planCacheBytes = flag.Int64("plan-cache-bytes", 0, "cap on cached compiled-artifact bytes (0 = mem-limit/8 when mem-limit is set, else default)")
 		maxPrepared    = flag.Int("max-prepared", 0, "max registered prepared statements (0 = 4096)")
+
+		mutexFraction = flag.Int("mutex-profile-fraction", 0,
+			"sample 1/n of mutex contention events into /debug/pprof/mutex (0 = off); use to quantify hash-table shard contention")
+		blockRate = flag.Int("block-profile-rate", 0,
+			"sample blocking events of >= n ns into /debug/pprof/block (0 = off)")
 	)
 	flag.Parse()
+
+	// Contention profiling is off by default (it costs a few percent on hot
+	// lock paths); flags arm it for A/B runs like the exchange-on/off
+	// comparison in DESIGN.md §15.
+	if *mutexFraction > 0 {
+		runtime.SetMutexProfileFraction(*mutexFraction)
+	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+	}
 
 	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
 	if *jsonLog {

@@ -62,11 +62,14 @@ type ConcCell struct {
 
 // renderChunk renders a result for baseline comparison: row order for
 // ordered queries, sorted rows otherwise (worker merge order is
-// scheduler-dependent by design).
+// scheduler-dependent by design). Floats render at 6 significant digits —
+// the same tolerance as the TPC-H oracle tests — because parallel float
+// aggregation is non-associative and the accumulation order is
+// scheduler-dependent too.
 func renderChunk(c *storage.Chunk, ordered bool) string {
 	rows := make([]string, c.Rows())
 	for i := range rows {
-		rows[i] = fmt.Sprintf("%v", c.Row(i))
+		rows[i] = fmt.Sprintf("%.6v", c.Row(i))
 	}
 	if !ordered {
 		sort.Strings(rows)
@@ -132,7 +135,7 @@ func concLevels(top int) []int {
 
 // runCase lowers a fresh plan (plans carry per-execution state) and runs it.
 func runCase(cat *storage.Catalog, qc *queryCase, be exec.Backend, cfg Config, pool *sched.Pool) (string, error) {
-	plan, err := algebra.Lower(qc.node, qc.name)
+	plan, err := lowerCfg(qc.node, qc.name, cfg)
 	if err != nil {
 		return "", err
 	}

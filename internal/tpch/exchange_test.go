@@ -1,0 +1,147 @@
+package tpch
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"inkfuse/internal/algebra"
+	"inkfuse/internal/exec"
+	"inkfuse/internal/storage"
+	"inkfuse/internal/types"
+)
+
+// TestExchangeDifferential runs every TPC-H plan on every backend with the
+// local hash-partitioned exchange on (DESIGN.md §15) and asserts the results
+// are byte-identical to the exchange-off lowering. It also asserts the
+// partitioned discipline held: the single-writer table parts never spill.
+func TestExchangeDifferential(t *testing.T) {
+	for _, q := range append(append([]string{}, Queries...), ExtendedQueries...) {
+		t.Run(q, func(t *testing.T) {
+			node, err := Build(testCat, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, ordered := node.(*algebra.OrderBy)
+			for _, backend := range []exec.Backend{
+				exec.BackendVectorized, exec.BackendCompiling, exec.BackendROF, exec.BackendHybrid,
+			} {
+				lat := exec.LatencyNone
+				offPlan, err := algebra.Lower(node, q)
+				if err != nil {
+					t.Fatalf("lower: %v", err)
+				}
+				offRes, err := exec.Execute(offPlan, exec.Options{Backend: backend, Workers: 4, Latency: &lat})
+				if err != nil {
+					t.Fatalf("%v off: %v", backend, err)
+				}
+				onPlan, err := algebra.LowerOpts(node, q, algebra.LowerOptions{Exchange: true, Partitions: 4})
+				if err != nil {
+					t.Fatalf("lower exchange: %v", err)
+				}
+				lat2 := exec.LatencyNone
+				onRes, err := exec.Execute(onPlan, exec.Options{Backend: backend, Workers: 4, Latency: &lat2})
+				if err != nil {
+					t.Fatalf("%v on: %v", backend, err)
+				}
+				want, got := rowsOf(offRes.Chunk), rowsOf(onRes.Chunk)
+				if !ordered {
+					sort.Strings(want)
+					sort.Strings(got)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%v: exchange run produced %d rows, want %d", backend, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Errorf("%v: row %d differs with exchange on:\n got  %s\n want %s", backend, i, got[i], want[i])
+						break
+					}
+				}
+				if onRes.Stats.HTSpills != 0 {
+					t.Errorf("%v: partitioned build spilled %d times; partitions must be single-writer", backend, onRes.Stats.HTSpills)
+				}
+				hasEx := false
+				for _, pipe := range onPlan.Pipelines {
+					if len(pipe.SealExchanges) > 0 {
+						hasEx = true
+					}
+				}
+				if hasEx && onRes.Stats.PartRoutedRows == 0 {
+					t.Errorf("%v: plan has exchanges but routed no rows", backend)
+				}
+				if !hasEx {
+					t.Errorf("%s lowered without any exchange despite Exchange option", q)
+				}
+			}
+		})
+	}
+}
+
+// TestExchangeSkewSingleKey sends every row to one partition (constant group
+// key) — the worst-case skew. The exchange must stay correct: one partition
+// holds everything, the rest are empty, and nothing spills.
+func TestExchangeSkewSingleKey(t *testing.T) {
+	tbl := storage.NewTable("skewed", types.Schema{
+		{Name: "k", Kind: types.Int64},
+		{Name: "v", Kind: types.Float64},
+	})
+	const rows = 20000
+	for i := 0; i < rows; i++ {
+		tbl.AppendRow(int64(7), float64(i))
+	}
+	node := algebra.NewGroupBy(algebra.NewScan(tbl, "k", "v"),
+		[]string{"k"}, algebra.Sum("v", "s"), algebra.Count("c"))
+	for _, backend := range []exec.Backend{exec.BackendVectorized, exec.BackendHybrid} {
+		plan, err := algebra.LowerOpts(node, "skew", algebra.LowerOptions{Exchange: true, Partitions: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat := exec.LatencyNone
+		res, err := exec.Execute(plan, exec.Options{Backend: backend, Workers: 4, Latency: &lat})
+		if err != nil {
+			t.Fatalf("%v: %v", backend, err)
+		}
+		if res.Rows() != 1 {
+			t.Fatalf("%v: got %d groups, want 1", backend, res.Rows())
+		}
+		got := rowsOf(res.Chunk)[0]
+		want := "[000007 1.9999e+08 020000]"
+		if got != want {
+			t.Fatalf("%v: got %s, want %s", backend, got, want)
+		}
+		s := &res.Stats
+		if s.PartRoutedRows != rows {
+			t.Fatalf("%v: routed %d rows, want %d", backend, s.PartRoutedRows, rows)
+		}
+		if s.PartMaxPartRows != rows {
+			t.Fatalf("%v: max partition %d rows, want all %d in one (total skew)", backend, s.PartMaxPartRows, rows)
+		}
+		if s.HTSpills != 0 {
+			t.Fatalf("%v: skewed partition spilled %d times", backend, s.HTSpills)
+		}
+	}
+}
+
+// TestExchangeSkewBoundedMemory proves the exchange's partition buffers are
+// budget-accounted: a skewed high-cardinality build against a tiny budget
+// fails with the typed budget error instead of OOM-ing the process.
+func TestExchangeSkewBoundedMemory(t *testing.T) {
+	tbl := storage.NewTable("wide", types.Schema{
+		{Name: "k", Kind: types.Int64},
+		{Name: "v", Kind: types.Float64},
+	})
+	for i := 0; i < 50000; i++ {
+		tbl.AppendRow(int64(i), 1.0)
+	}
+	node := algebra.NewGroupBy(algebra.NewScan(tbl, "k", "v"), []string{"k"}, algebra.Sum("v", "s"))
+	plan, err := algebra.LowerOpts(node, "bigagg_ex", algebra.LowerOptions{Exchange: true, Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := exec.LatencyNone
+	_, err = exec.Execute(plan, exec.Options{Backend: exec.BackendVectorized, Workers: 4, Latency: &lat, MemoryBudget: 32 << 10})
+	if !errors.Is(err, exec.ErrMemoryBudget) {
+		t.Fatalf("want ErrMemoryBudget, got %v", err)
+	}
+}

@@ -2,10 +2,12 @@
 # bench.sh — run the committed benchmark grid: every supported TPC-H query on
 # all four backends, median-of-N wall time and rows/sec as JSON.
 #
-#   scripts/bench.sh [out.json]      # default out: BENCH_PR6.json
+#   scripts/bench.sh [out.json]      # default out: BENCH_PR10.json
 #   SF=0.05 RUNS=5 scripts/bench.sh  # override scale factor / repetitions
 #   CONC=8 scripts/bench.sh          # top client count of the concurrency series
-#   BASE=BENCH_PR5.json scripts/bench.sh  # override the delta baseline
+#   WORKERS=4 scripts/bench.sh       # worker threads per query (0 = GOMAXPROCS)
+#   EXCHANGE=off scripts/bench.sh    # drop the exchange A/B axis (off | on | both)
+#   BASE=BENCH_PR6.json scripts/bench.sh  # override the delta baseline
 #
 # Absolute numbers are host-dependent; the committed artifact records the
 # shape (who wins per query, compile-wait share, how p99 grows with client
@@ -15,14 +17,17 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR6.json}"
+out="${1:-BENCH_PR10.json}"
 sf="${SF:-0.1}"
 runs="${RUNS:-3}"
 conc="${CONC:-8}"
-base="${BASE:-BENCH_PR5.json}"
+workers="${WORKERS:-4}"
+exchange="${EXCHANGE:-both}"
+base="${BASE:-BENCH_PR6.json}"
 
-echo "bench: SF ${sf}, ${runs} runs/cell, 8 queries x 4 backends, concurrency series up to ${conc} clients" >&2
-go run ./cmd/inkbench -json -sf "$sf" -runs "$runs" -concurrency "$conc" -conc-queue 2 > "$out"
+echo "bench: SF ${sf}, ${runs} runs/cell, 8 queries x 4 backends, exchange=${exchange}, ${workers} workers, concurrency series up to ${conc} clients" >&2
+go run ./cmd/inkbench -json -sf "$sf" -runs "$runs" -workers "$workers" \
+    -exchange "$exchange" -concurrency "$conc" -conc-queue 2 > "$out"
 echo "bench: wrote $out" >&2
 
 if [ -f "$base" ] && [ "$base" != "$out" ]; then
